@@ -1,0 +1,84 @@
+"""Ablation: Algorithm 1's local-gradient double application.
+
+As printed, Alg. 1 applies each local gradient at line 8 *and* again
+inside the accumulated buffer at line 15 (DESIGN.md Sec. 6).  This bench
+quantifies the consequence in the high-overlap regime and the effect of
+the ``compensate_local`` correction:
+
+* faithful double-apply: effective step ~2x in owned regions -> fast early
+  progress at small steps, instability at practical ones;
+* compensated: stable across the step-size range and seam-free.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.reconstructor import GradientDecompositionReconstructor
+from repro.metrics.seam import seam_metric
+from repro.parallel.topology import MeshLayout
+from repro.physics.dataset import (
+    scaled_pbtio3_spec,
+    simulate_dataset,
+    suggest_lr,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    spec = scaled_pbtio3_spec(
+        scan_grid=(12, 12), detector_px=20, n_slices=2, circle_overlap=0.8
+    )
+    dataset = simulate_dataset(spec, seed=3)
+    return dataset, suggest_lr(dataset, 1.0)  # alpha scaled below
+
+
+def run(dataset, base_lr, alpha, compensate):
+    recon = GradientDecompositionReconstructor(
+        mesh=MeshLayout(3, 3),
+        iterations=8,
+        lr=alpha * base_lr,
+        mode="alg1",
+        compensate_local=compensate,
+    )
+    return recon.reconstruct(dataset)
+
+
+def test_double_apply_ablation(benchmark, workload, show):
+    dataset, base_lr = workload
+    rows = []
+    for alpha in (0.1, 0.25, 0.4):
+        for compensate in (False, True):
+            result = run(dataset, base_lr, alpha, compensate)
+            final = result.history[-1]
+            seam = (
+                seam_metric(
+                    result.volume,
+                    result.decomposition,
+                    margin=dataset.spec.detector_px // 2,
+                )
+                if np.isfinite(result.volume).all()
+                else float("nan")
+            )
+            rows.append((alpha, compensate, final, seam))
+    benchmark.pedantic(
+        run, args=(dataset, base_lr, 0.25, True), rounds=1, iterations=1
+    )
+
+    lines = ["Alg. 1 double-apply ablation (high overlap, 3x3 mesh):"]
+    for alpha, compensate, final, seam in rows:
+        tag = "compensated" if compensate else "as printed "
+        final_s = f"{final:.3e}" if np.isfinite(final) else "diverged"
+        lines.append(
+            f"  alpha={alpha:4.2f} {tag}: final cost {final_s:>10}  "
+            f"seam {seam:5.2f}"
+        )
+    show("\n".join(lines))
+
+    by_key = {(a, c): (f, s) for a, c, f, s in rows}
+    # The compensated variant stays finite at every tested step size.
+    for alpha in (0.1, 0.25, 0.4):
+        assert np.isfinite(by_key[(alpha, True)][0])
+    # At the largest step the as-printed variant is strictly worse
+    # (diverged or >= 10x higher final cost).
+    printed, compensated = by_key[(0.4, False)][0], by_key[(0.4, True)][0]
+    assert (not np.isfinite(printed)) or printed > 10 * compensated

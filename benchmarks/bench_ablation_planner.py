@@ -1,0 +1,52 @@
+"""Ablation: pass planner (APPP vs barrier vs all-reduce vs neighbour).
+
+Numerically the first three are equivalent (tested in the suite); this
+bench quantifies the *timing* differences the paper's Sec. V design
+arguments predict, plus the message-volume advantage over all-reduce.
+"""
+
+import pytest
+
+from repro.perfmodel.predictor import PerformancePredictor
+from repro.physics.dataset import large_pbtio3_spec
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return PerformancePredictor(large_pbtio3_spec())
+
+
+def test_planner_makespans_at_462(benchmark, predictor, show):
+    reports = {
+        planner: predictor.gd_report(462, planner=planner)
+        for planner in ("appp", "barrier", "allreduce")
+    }
+    benchmark.pedantic(
+        predictor.gd_report, args=(462,), kwargs={"planner": "appp"},
+        rounds=1, iterations=1,
+    )
+    lines = ["planner ablation, large dataset @ 462 GPUs (per iteration):"]
+    for planner, rep in reports.items():
+        lines.append(
+            f"  {planner:>9}: makespan={rep.makespan_s:7.2f}s "
+            f"compute={rep.mean('compute_s'):6.2f}s "
+            f"wait={rep.mean('wait_s'):5.2f}s comm={rep.mean('comm_s'):6.3f}s"
+        )
+    show("\n".join(lines))
+
+    assert reports["appp"].makespan_s <= reports["barrier"].makespan_s * 1.05
+    assert reports["appp"].makespan_s < reports["allreduce"].makespan_s
+
+    # The all-reduce moves the full volume; APPP only the overlaps.
+    assert reports["allreduce"].message_bytes > reports["appp"].message_bytes
+
+
+def test_appp_pipelining_gain_grows_with_mesh(predictor, show):
+    """Barrier-vs-APPP gap as GPUs grow (cross-direction pipelining)."""
+    gaps = {}
+    for gpus in (54, 462):
+        appp = predictor.gd_report(gpus, planner="appp").makespan_s
+        barrier = predictor.gd_report(gpus, planner="barrier").makespan_s
+        gaps[gpus] = barrier / appp
+    show(f"barrier/appp makespan ratio: {gaps}")
+    assert gaps[462] >= 1.0

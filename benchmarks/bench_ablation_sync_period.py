@@ -1,0 +1,63 @@
+"""Ablation: delayed-accumulation period T (Alg. 1 line 9).
+
+Extends Fig. 9 with a denser sweep: messages scale as 1/T while the
+convergence quality stays flat or improves — the paper's argument for
+communicating once per iteration.
+"""
+
+import pytest
+
+from repro.core.reconstructor import GradientDecompositionReconstructor
+from repro.metrics.convergence import auc_cost
+from repro.parallel.topology import MeshLayout
+from repro.physics.dataset import (
+    scaled_pbtio3_spec,
+    simulate_dataset,
+    suggest_lr,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    spec = scaled_pbtio3_spec(
+        scan_grid=(9, 9), detector_px=20, n_slices=2, circle_overlap=0.78
+    )
+    dataset = simulate_dataset(spec, seed=13)
+    return dataset, suggest_lr(dataset, alpha=0.3)
+
+
+def run_period(dataset, lr, period):
+    recon = GradientDecompositionReconstructor(
+        mesh=MeshLayout(3, 3), iterations=6, lr=lr, mode="alg1",
+        sync_period=period,
+    )
+    return recon.reconstruct(dataset)
+
+
+def test_sync_period_sweep(benchmark, workload, show):
+    dataset, lr = workload
+    periods = [1, 3, 9, "iteration"]
+    results = {p: run_period(dataset, lr, p) for p in periods}
+    benchmark.pedantic(
+        run_period, args=(dataset, lr, "iteration"), rounds=1, iterations=1
+    )
+
+    lines = ["delayed accumulation sweep (T = probes between passes):"]
+    for p, res in results.items():
+        lines.append(
+            f"  T={p!s:>9}: messages={res.messages:6d} "
+            f"AUC={auc_cost(res.history):6.3f} final={res.final_cost:.3e}"
+        )
+    show("\n".join(lines))
+
+    msg = [results[p].messages for p in (1, 3, 9)]
+    assert msg[0] > msg[1] > msg[2]
+    # A communication-reduced setting matches (or beats) per-probe passes
+    # in convergence quality — the paper's Sec. VI-F argument.  Which
+    # reduced T wins depends on probes-per-rank and step size (large
+    # lumped buffer updates can overshoot too), so we assert on the best
+    # reduced setting rather than a specific one.
+    best_reduced = min(
+        auc_cost(results[p].history) for p in (3, 9, "iteration")
+    )
+    assert best_reduced <= 1.05 * auc_cost(results[1].history)

@@ -1,0 +1,30 @@
+"""Fig. 7a — strong-scaling curves for both datasets vs ideal O(1/P)."""
+
+import pytest
+
+from repro.experiments import run_fig7a
+
+
+def test_fig7a_regeneration(benchmark, show):
+    result = benchmark.pedantic(run_fig7a, rounds=1, iterations=1)
+    show(result.format())
+
+    # Super-linear region exists on both curves (runtime below the ideal
+    # O(1/P) line), as in the paper's figure.
+    assert result.superlinear_points("large Lead Titanate")
+    small_pts = result.superlinear_points("small Lead Titanate")
+    # The small dataset's super-linearity is milder; require the curve to
+    # at least track the ideal line closely somewhere.
+    series = next(
+        s for s in result.series if s.label == "small Lead Titanate"
+    )
+    ratios = [
+        t / i for t, i in zip(series.runtime_min, series.ideal_runtime_min())
+    ]
+    assert min(ratios) < 1.2
+
+
+def test_fig7a_monotone_runtimes():
+    result = run_fig7a(small_gpus=(6, 54, 462), large_gpus=(6, 54, 462))
+    for series in result.series:
+        assert series.runtime_min == sorted(series.runtime_min, reverse=True)

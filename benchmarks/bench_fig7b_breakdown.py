@@ -1,0 +1,45 @@
+"""Fig. 7b — compute/wait/comm breakdown, APPP vs w/o APPP.
+
+The paper's claims checked here:
+* APPP keeps communication overhead low even at 462 GPUs;
+* without APPP (global all-reduce) communication dominates at 462 GPUs;
+* GPU waiting time decreases as GPUs increase.
+"""
+
+import pytest
+
+from repro.experiments import run_fig7b
+
+
+def test_fig7b_regeneration(benchmark, show):
+    result = benchmark.pedantic(
+        run_fig7b, rounds=1, iterations=1,
+        kwargs={"gpu_counts": (24, 54, 126, 198, 462)},
+    )
+    show(result.format())
+    show(
+        f"comm(w/o APPP)/comm(APPP) at 462 GPUs = "
+        f"{result.comm_ratio(462):.0f}x (paper: 16x)"
+    )
+
+    assert result.comm_ratio(462) > 10.0
+    waits = result.wait_series("appp")
+    assert waits[462] < waits[24]
+    worst = next(
+        r for r in result.rows if r.gpus == 462 and r.planner == "w/o appp"
+    )
+    assert worst.comm_min > worst.compute_min
+
+
+def test_fig7b_appp_total_always_wins(show):
+    result = run_fig7b(gpu_counts=(54, 462))
+    for gpus in (54, 462):
+        appp = next(
+            r for r in result.rows if r.gpus == gpus and r.planner == "appp"
+        )
+        other = next(
+            r
+            for r in result.rows
+            if r.gpus == gpus and r.planner == "w/o appp"
+        )
+        assert appp.total_min < other.total_min

@@ -1,0 +1,33 @@
+"""Fig. 9 — convergence vs communication frequency (real reconstructions).
+
+Three delayed-accumulation settings of Alg. 1 (passes per probe location,
+twice per iteration, once per iteration) on a 42-rank mesh.  Paper shape:
+the reduced frequencies converge at least as fast while communicating far
+less.
+"""
+
+import pytest
+
+from repro.experiments import run_fig9
+from repro.parallel.topology import MeshLayout
+
+
+def test_fig9_regeneration(benchmark, show):
+    result = benchmark.pedantic(
+        run_fig9, rounds=1, iterations=1, kwargs={"iterations": 8}
+    )
+    show(result.format())
+
+    assert result.reduced_frequency_wins()
+    assert result.communication_savings() > 2.0
+    for history in result.histories.values():
+        assert history[-1] < history[0]
+
+
+def test_fig9_message_scaling(show):
+    """Messages scale with pass frequency exactly."""
+    result = run_fig9(mesh=MeshLayout(3, 3), iterations=4)
+    per_probe = result.message_counts["every probe location"]
+    per_iter = result.message_counts["once per iteration"]
+    show(f"messages: per-probe={per_probe} once-per-iteration={per_iter}")
+    assert per_probe > 3 * per_iter

@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the parallel substrate: decomposition at full
+scale, schedule compilation, event simulation, message layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import decompose_gradient
+from repro.core.reconstructor import GradientDecompositionReconstructor
+from repro.parallel.comm import VirtualComm
+from repro.parallel.event_sim import EventSimulator
+from repro.parallel.network import NetworkModel
+from repro.parallel.topology import ClusterTopology, MeshLayout
+from repro.perfmodel.cost_model import SummitCostModel
+from repro.perfmodel.machine import SUMMIT
+from repro.physics.dataset import large_pbtio3_spec
+from repro.physics.scan import RasterScan
+
+
+@pytest.fixture(scope="module")
+def full_scale():
+    spec = large_pbtio3_spec()
+    scan = RasterScan(spec.scan_spec(), probe_window_px=spec.detector_px)
+    return spec, scan
+
+
+def test_decompose_4158_ranks(benchmark, full_scale):
+    """Full-size geometry must stay interactive (< 1 s)."""
+    spec, scan = full_scale
+    decomp = benchmark(
+        decompose_gradient,
+        scan,
+        spec.object_shape,
+        MeshLayout(63, 66),
+        None,
+        60,
+    )
+    assert decomp.n_ranks == 4158
+
+
+def test_schedule_compilation_4158_ranks(benchmark, full_scale):
+    spec, scan = full_scale
+    decomp = decompose_gradient(
+        scan, spec.object_shape, mesh=MeshLayout(63, 66), halo=60
+    )
+    recon = GradientDecompositionReconstructor(
+        mesh=decomp.mesh, iterations=1, halo=60
+    )
+    schedule = benchmark(recon.build_iteration_schedule, decomp)
+    assert len(schedule) > 4158
+
+
+def test_event_simulation_4158_ranks(benchmark, full_scale):
+    spec, scan = full_scale
+    decomp = decompose_gradient(
+        scan, spec.object_shape, mesh=MeshLayout(63, 66), halo=60
+    )
+    recon = GradientDecompositionReconstructor(
+        mesh=decomp.mesh, iterations=1, halo=60
+    )
+    schedule = recon.build_iteration_schedule(decomp)
+    costs = SummitCostModel(spec, decomp, SUMMIT)
+    net = NetworkModel(
+        ClusterTopology(4158),
+        intra_node=SUMMIT.intra_link(),
+        inter_node=SUMMIT.inter_link(),
+        collective=SUMMIT.collective_link(),
+    )
+    sim = EventSimulator(net, costs)
+    report = benchmark(sim.run, schedule)
+    assert report.makespan_s > 0
+
+
+def test_virtual_comm_throughput(benchmark):
+    comm = VirtualComm(8)
+    payload = np.zeros((64, 64), dtype=np.complex128)
+
+    def roundtrip():
+        for dst in range(1, 8):
+            comm.send(payload, 0, dst)
+        for dst in range(1, 8):
+            comm.recv(dst, 0)
+
+    benchmark(roundtrip)
+    assert comm.pending_messages() == 0

@@ -1,0 +1,29 @@
+"""Table I — dataset inventory + simulation throughput.
+
+Regenerates the dataset-size table (structural equality with the paper is
+asserted) and benchmarks the acquisition simulator at a scaled size.
+"""
+
+import pytest
+
+from repro.experiments import run_table1
+from repro.physics.dataset import scaled_pbtio3_spec, simulate_dataset
+
+
+def test_table1_inventory(benchmark, show):
+    result = benchmark(run_table1)
+    show(result.format())
+    assert result.matches_paper()
+
+
+def test_dataset_simulation_throughput(benchmark):
+    """Probe-position simulation rate of the forward model."""
+    spec = scaled_pbtio3_spec(scan_grid=(6, 6), detector_px=32, n_slices=4)
+    dataset = benchmark(simulate_dataset, spec, 0)
+    assert dataset.n_probes == 36
+
+
+def test_dataset_simulation_with_noise(benchmark):
+    spec = scaled_pbtio3_spec(scan_grid=(4, 4), detector_px=24, n_slices=2)
+    dataset = benchmark(simulate_dataset, spec, 0, 1e5)
+    assert dataset.amplitudes.min() >= 0

@@ -1,0 +1,19 @@
+"""Benchmark-suite fixtures.
+
+Each ``bench_*`` module regenerates one paper artifact; the printed
+paper-vs-measured tables land in the captured output (run with ``-s`` to
+see them live) and are recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print a block so it survives pytest's capture when run with -s and
+    stays greppable in CI logs otherwise."""
+
+    def _show(text: str) -> None:
+        print("\n" + text + "\n")
+
+    return _show

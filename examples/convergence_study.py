@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Convergence vs communication frequency (paper Fig. 9).
+
+Runs the Gradient Decomposition with the three delayed-accumulation
+settings of the paper's Fig. 9 and prints the cost curves as ASCII plots.
+
+Run:
+    python examples/convergence_study.py
+"""
+
+from repro.experiments.fig9 import run_fig9
+
+
+def ascii_curve(history, width=50):
+    top = max(history)
+    lines = []
+    for it, cost in enumerate(history):
+        bar = "#" * max(1, int(width * cost / top))
+        lines.append(f"    iter {it:2d}  {cost:10.4e}  {bar}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("running Fig. 9 convergence study (3 x 10 iterations, 42 ranks)...")
+    result = run_fig9(iterations=10)
+    print()
+    print(result.format())
+    print()
+    for label, history in result.histories.items():
+        print(f"  {label} ({result.message_counts[label]} messages):")
+        print(ascii_curve(history))
+        print()
+
+    if result.reduced_frequency_wins():
+        print(
+            "paper claim REPRODUCED: passes once/twice per iteration "
+            "converge at least as fast as per-probe passes, with "
+            f"{result.communication_savings():.0f}x fewer messages."
+        )
+    else:
+        print("paper claim NOT reproduced at this configuration.")
+
+
+if __name__ == "__main__":
+    main()

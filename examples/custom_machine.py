@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Planning a deployment on *your* cluster.
+
+The performance model is not Summit-specific: describe your machine
+(GPUs per node, memory, link speeds, sustained kernel throughput) and your
+acquisition, and the predictor tells you how many GPUs you need for a
+target wall-clock time and whether the memory fits.
+
+This example sizes a hypothetical A100 cluster (8 GPUs/node, 40 GB,
+NVLink3 + HDR InfiniBand, ~4x the V100-era sustained throughput) for the
+paper's large Lead Titanate acquisition.
+
+Run:
+    python examples/custom_machine.py
+"""
+
+from repro import MachineSpec, PerformancePredictor, large_pbtio3_spec
+
+
+def main() -> None:
+    a100_cluster = MachineSpec(
+        name="a100-hdr",
+        gpus_per_node=8,
+        gpu_memory_bytes=40e9,
+        effective_flops=8.8e11,      # ~4x the calibrated V100-era stack
+        probe_overhead_s=1e-3,
+        memory_bandwidth=1.5e12,
+        intra_node_bw=300e9,         # NVLink3
+        intra_node_latency_s=2e-6,
+        inter_node_bw=25e9,          # HDR200
+        inter_node_latency_s=4e-6,
+        collective_bw=4e9,
+        speed_jitter=0.10,
+    )
+    spec = large_pbtio3_spec()
+    predictor = PerformancePredictor(spec, machine=a100_cluster)
+
+    print(f"machine: {a100_cluster.name} ({a100_cluster.gpus_per_node} GPUs/node)")
+    print(f"dataset: {spec.name} ({spec.n_probes} probes, "
+          f"{spec.object_shape[0]}x{spec.object_shape[1]}x{spec.n_slices} volume)")
+    print()
+    header = f"{'GPUs':>6} {'nodes':>6} {'mem/GPU GB':>11} {'time min':>9} {'eff %':>7}"
+    print(header)
+    print("-" * len(header))
+    rows = predictor.sweep([8, 64, 256, 1024, 4096], "gd")
+    for r in rows:
+        print(
+            f"{r.gpus:>6} {r.nodes:>6} {float(r.memory_gb):>11.2f} "
+            f"{float(r.runtime_min):>9.1f} {float(r.efficiency_pct):>7.0f}"
+        )
+
+    # Sizing question: smallest sweep point under 5 minutes?
+    target = next(
+        (r for r in rows if float(r.runtime_min) < 5.0), None
+    )
+    print()
+    if target is not None:
+        print(
+            f"=> {target.gpus} GPUs ({target.nodes} nodes) reconstruct the "
+            f"acquisition in {float(target.runtime_min):.1f} minutes at "
+            f"{float(target.memory_gb):.2f} GB per GPU."
+        )
+    else:
+        print("=> no sweep point meets the 5-minute target; add GPUs.")
+
+
+if __name__ == "__main__":
+    main()

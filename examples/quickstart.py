@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a PbTiO3 acquisition and reconstruct it with the
+Gradient Decomposition algorithm (paper Alg. 1) on a virtual 3x3 GPU mesh.
+
+Run:
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    GradientDecompositionReconstructor,
+    scaled_pbtio3_spec,
+    simulate_dataset,
+    suggest_lr,
+)
+from repro.metrics.image_quality import complex_correlation
+
+
+def main() -> None:
+    # 1. A scaled-down Lead Titanate acquisition (same geometry family as
+    #    the paper's Table I datasets: multislice PbTiO3, 200 keV, raster
+    #    scan with overlapping probes).
+    spec = scaled_pbtio3_spec(
+        scan_grid=(8, 8), detector_px=24, n_slices=2, overlap_ratio=0.72
+    )
+    print(f"dataset: {spec.name}")
+    print(f"  probes:      {spec.n_probes} ({spec.scan_grid[0]}x{spec.scan_grid[1]} raster)")
+    print(f"  detector:    {spec.detector_px}x{spec.detector_px}")
+    print(f"  volume:      {spec.object_shape[0]}x{spec.object_shape[1]}x{spec.n_slices}")
+    dataset = simulate_dataset(spec, seed=7)
+
+    # 2. Reconstruct on 9 virtual GPUs with the paper's Algorithm 1
+    #    (per-probe local updates + gradient accumulation passes once per
+    #    iteration, APPP planner).
+    lr = suggest_lr(dataset, alpha=0.35)
+    recon = GradientDecompositionReconstructor(
+        n_ranks=9,
+        iterations=10,
+        lr=lr,
+        mode="alg1",
+        sync_period="iteration",
+        planner="appp",
+        compensate_local=True,
+    )
+    result = recon.reconstruct(dataset)
+
+    # 3. Report.
+    print("\nconvergence (sum of squared amplitude residuals):")
+    for it, cost in enumerate(result.history):
+        bar = "#" * max(1, int(40 * cost / result.history[0]))
+        print(f"  iter {it:2d}  {cost:10.4e}  {bar}")
+
+    m = spec.detector_px // 2  # well-scanned interior
+    corr = complex_correlation(
+        result.volume[:, m:-m, m:-m] - 1.0,
+        dataset.ground_truth[:, m:-m, m:-m] - 1.0,
+    )
+    print(f"\nstructure correlation vs ground truth: {corr:.3f}")
+    print(f"messages exchanged: {result.messages}")
+    print(f"bytes moved:        {result.message_bytes / 1e6:.2f} MB")
+    print(
+        f"peak memory/rank:   {result.peak_memory_mean / 1e6:.2f} MB "
+        f"(vs {dataset.amplitudes.nbytes / 1e6 + result.volume.nbytes / 1e6:.2f} MB serial)"
+    )
+
+
+if __name__ == "__main__":
+    main()

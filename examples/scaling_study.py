@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Full-scale scaling study (paper Tables II/III + Fig. 7).
+
+Regenerates the paper's performance tables from the calibrated machine
+model and the event-simulated iteration schedules, printing modeled values
+next to the paper's reported numbers.
+
+Run:
+    python examples/scaling_study.py
+"""
+
+from repro.experiments import run_fig7a, run_fig7b, run_table2, run_table3
+
+
+def main() -> None:
+    print("=" * 78)
+    print("Small Lead Titanate dataset (4158 probes) — paper Table II")
+    print("=" * 78)
+    print(run_table2().format())
+
+    print()
+    print("=" * 78)
+    print("Large Lead Titanate dataset (16632 probes) — paper Table III")
+    print("=" * 78)
+    table3 = run_table3()
+    print(table3.format())
+    print()
+    print("headline factors vs the paper's abstract:")
+    print(
+        f"  memory reduction 6 -> 4158 GPUs: {table3.memory_reduction_factor():5.1f}x"
+        "   (paper: 51x)"
+    )
+    print(
+        f"  scalability GD vs HVE:           {table3.scalability_factor():5.1f}x"
+        "   (paper:  9x)"
+    )
+    print(
+        f"  speed GD-best vs HVE-at-max:     {table3.speed_factor():5.1f}x"
+        "   (paper: 86x)"
+    )
+
+    print()
+    print("=" * 78)
+    print("Strong scaling vs ideal O(1/P) — paper Fig. 7a")
+    print("=" * 78)
+    fig7a = run_fig7a()
+    print(fig7a.format())
+    for label in ("small Lead Titanate", "large Lead Titanate"):
+        pts = fig7a.superlinear_points(label)
+        print(f"  super-linear GPU counts ({label}): {pts}")
+
+    print()
+    print("=" * 78)
+    print("Runtime breakdown, APPP vs w/o APPP — paper Fig. 7b")
+    print("=" * 78)
+    fig7b = run_fig7b()
+    print(fig7b.format())
+    print(
+        f"\n  comm(w/o APPP) / comm(APPP) at 462 GPUs: "
+        f"{fig7b.comm_ratio(462):.0f}x (paper: 16x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Seam-artifact comparison (paper Fig. 8).
+
+Reconstructs the same high-overlap acquisition with the Halo Voxel
+Exchange baseline and the Gradient Decomposition method on a 3x3 mesh,
+quantifies tile-border seams, and saves the phase images plus a boundary
+profile for inspection.
+
+Run:
+    python examples/seam_artifacts.py
+Outputs (under examples/output/):
+    fig8_serial.npy, fig8_gd.npy, fig8_hve.npy  - phase images
+    fig8_profile.txt                            - boundary profile table
+"""
+
+import os
+
+import numpy as np
+
+from repro.core.decomposition import decompose_gradient
+from repro.experiments.fig8 import run_fig8
+from repro.metrics.seam import boundary_profile
+from repro.parallel.topology import MeshLayout
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def main() -> None:
+    print("running Fig. 8 seam-artifact experiment (three reconstructions)...")
+    result = run_fig8()
+    print()
+    print(result.format())
+    print()
+    verdict = "REPRODUCED" if result.hve_has_seams and result.gd_seam_free else "DIVERGED"
+    print(f"paper claim (HVE seams, GD seam-free): {verdict}")
+
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    for name, volume in (
+        ("serial", result.volume_serial),
+        ("gd", result.volume_gd),
+        ("hve", result.volume_hve),
+    ):
+        phase = np.angle(volume[0])
+        np.save(os.path.join(OUTPUT_DIR, f"fig8_{name}.npy"), phase)
+
+    # Boundary profile: mean |row difference| per row; seams appear as
+    # spikes at the marked tile-boundary rows.
+    decomp = decompose_gradient(
+        result.dataset.scan,
+        result.dataset.object_shape,
+        mesh=MeshLayout(3, 3),
+    )
+    lines = ["row  serial    gd        hve       boundary"]
+    p_serial, marks = boundary_profile(result.volume_serial, decomp)
+    p_gd, _ = boundary_profile(result.volume_gd, decomp)
+    p_hve, _ = boundary_profile(result.volume_hve, decomp)
+    for row in range(len(p_serial)):
+        marker = "  <-- tile boundary" if (row + 1) in marks else ""
+        lines.append(
+            f"{row + 1:3d}  {p_serial[row]:.6f}  {p_gd[row]:.6f}  "
+            f"{p_hve[row]:.6f}{marker}"
+        )
+    path = os.path.join(OUTPUT_DIR, "fig8_profile.txt")
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+    print(f"\nphase images and boundary profile written to {OUTPUT_DIR}/")
+
+
+if __name__ == "__main__":
+    main()

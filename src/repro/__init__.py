@@ -1,0 +1,74 @@
+"""repro — reproduction of "Image Gradient Decomposition for Parallel and
+Memory-Efficient Ptychographic Reconstruction" (SC 2022).
+
+Public API highlights
+---------------------
+Physics / data:
+    :func:`repro.physics.simulate_dataset`,
+    :func:`repro.physics.scaled_pbtio3_spec`,
+    :func:`repro.physics.small_pbtio3_spec`,
+    :func:`repro.physics.large_pbtio3_spec`
+
+Reconstructors:
+    :class:`repro.core.GradientDecompositionReconstructor` (the paper's
+    Algorithm 1), :class:`repro.baseline.HaloExchangeReconstructor` (the
+    state-of-the-art baseline), :class:`repro.baseline.SerialReconstructor`
+    (the correctness reference)
+
+Scale/performance models (Tables II/III, Fig. 7):
+    :class:`repro.perfmodel.MachineSpec`,
+    :class:`repro.perfmodel.PerformancePredictor`
+
+Experiments (one per paper table/figure):
+    :mod:`repro.experiments` — ``run_table1`` .. ``run_fig9``
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"
+
+from repro import utils  # noqa: F401  (re-exported subpackages)
+from repro import physics  # noqa: F401
+from repro import schedule  # noqa: F401
+from repro import parallel  # noqa: F401
+from repro import core  # noqa: F401
+from repro import baseline  # noqa: F401
+from repro import perfmodel  # noqa: F401
+from repro import metrics  # noqa: F401
+from repro import experiments  # noqa: F401
+
+from repro.core import GradientDecompositionReconstructor, ReconstructionResult
+from repro.baseline import HaloExchangeReconstructor, SerialReconstructor
+from repro.physics import (
+    simulate_dataset,
+    scaled_pbtio3_spec,
+    small_pbtio3_spec,
+    large_pbtio3_spec,
+)
+from repro.physics.dataset import suggest_lr
+from repro.perfmodel import PerformancePredictor, MachineSpec, SUMMIT
+
+__all__ = [
+    "__version__",
+    "utils",
+    "physics",
+    "schedule",
+    "parallel",
+    "core",
+    "baseline",
+    "perfmodel",
+    "metrics",
+    "experiments",
+    "GradientDecompositionReconstructor",
+    "ReconstructionResult",
+    "HaloExchangeReconstructor",
+    "SerialReconstructor",
+    "simulate_dataset",
+    "scaled_pbtio3_spec",
+    "small_pbtio3_spec",
+    "large_pbtio3_spec",
+    "suggest_lr",
+    "PerformancePredictor",
+    "MachineSpec",
+    "SUMMIT",
+]

@@ -1,0 +1,216 @@
+"""Command-line interface.
+
+Four subcommands cover the simulate -> reconstruct -> analyze workflow:
+
+.. code-block:: bash
+
+    repro-ptycho simulate  --grid 8x8 --detector 24 --slices 2 --out ds.npz
+    repro-ptycho reconstruct --dataset ds.npz --ranks 9 --iterations 10 \
+        --out rec.npz
+    repro-ptycho predict   --dataset large --algorithm gd --gpus 6,54,462
+    repro-ptycho experiment --name table1
+
+(Also runnable as ``python -m repro.cli ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_grid(text: str) -> tuple:
+    try:
+        rows, cols = text.lower().split("x")
+        return (int(rows), int(cols))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"grid must look like 8x8, got {text!r}"
+        ) from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ptycho",
+        description=(
+            "Gradient-decomposed parallel ptychographic reconstruction "
+            "(SC22 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="simulate a PbTiO3 acquisition")
+    sim.add_argument("--grid", type=_parse_grid, default=(8, 8))
+    sim.add_argument("--detector", type=int, default=24)
+    sim.add_argument("--slices", type=int, default=2)
+    sim.add_argument("--overlap", type=float, default=0.72)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--dose", type=float, default=None,
+                     help="Poisson dose (electrons/position); noiseless if omitted")
+    sim.add_argument("--out", required=True)
+
+    rec = sub.add_parser("reconstruct", help="reconstruct an acquisition")
+    rec.add_argument("--dataset", required=True)
+    rec.add_argument("--ranks", type=int, default=4)
+    rec.add_argument("--iterations", type=int, default=10)
+    rec.add_argument("--lr", type=float, default=None,
+                     help="step size (auto-preconditioned if omitted)")
+    rec.add_argument("--mode", choices=["alg1", "synchronous"], default="alg1")
+    rec.add_argument(
+        "--planner",
+        choices=["appp", "barrier", "allreduce", "neighbor"],
+        default="appp",
+    )
+    rec.add_argument("--sync-period", default="iteration")
+    rec.add_argument("--algorithm", choices=["gd", "hve", "serial"], default="gd")
+    rec.add_argument("--refine-probe", action="store_true")
+    rec.add_argument("--resume", default=None,
+                     help="warm-start from a saved result archive")
+    rec.add_argument("--out", required=True)
+
+    pred = sub.add_parser(
+        "predict", help="full-scale performance prediction (Tables II/III)"
+    )
+    pred.add_argument("--dataset", choices=["small", "large"], default="large")
+    pred.add_argument("--algorithm", choices=["gd", "hve"], default="gd")
+    pred.add_argument("--gpus", default="6,54,198,462",
+                      help="comma-separated GPU counts")
+    pred.add_argument(
+        "--planner", choices=["appp", "barrier", "allreduce"], default="appp"
+    )
+
+    exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    exp.add_argument(
+        "--name",
+        required=True,
+        choices=["table1", "table2", "table3", "fig5", "fig6", "fig7a",
+                 "fig7b", "fig8", "fig9"],
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_simulate(args) -> int:
+    from repro.io import save_dataset
+    from repro.physics.dataset import scaled_pbtio3_spec, simulate_dataset
+
+    spec = scaled_pbtio3_spec(
+        scan_grid=args.grid,
+        detector_px=args.detector,
+        n_slices=args.slices,
+        overlap_ratio=args.overlap,
+    )
+    dataset = simulate_dataset(spec, seed=args.seed, poisson_dose=args.dose)
+    path = save_dataset(args.out, dataset)
+    print(
+        f"wrote {path} ({dataset.n_probes} probes, "
+        f"object {spec.object_shape[0]}x{spec.object_shape[1]}x{spec.n_slices})"
+    )
+    return 0
+
+
+def _cmd_reconstruct(args) -> int:
+    from repro.baseline import HaloExchangeReconstructor, SerialReconstructor
+    from repro.core import GradientDecompositionReconstructor
+    from repro.io import load_dataset, load_result, save_result
+    from repro.physics.dataset import suggest_lr
+
+    dataset = load_dataset(args.dataset)
+    lr = args.lr if args.lr is not None else suggest_lr(dataset, alpha=0.35)
+    initial_volume = None
+    if args.resume is not None:
+        initial_volume = load_result(args.resume).volume
+        print(f"resuming from {args.resume}")
+
+    if args.algorithm == "serial":
+        recon = SerialReconstructor(iterations=args.iterations, lr=lr,
+                                    refine_probe=args.refine_probe)
+        result = recon.reconstruct(dataset, initial_volume=initial_volume)
+    elif args.algorithm == "hve":
+        recon = HaloExchangeReconstructor(
+            n_ranks=args.ranks, iterations=args.iterations, lr=lr
+        )
+        result = recon.reconstruct(dataset)
+    else:
+        period = args.sync_period
+        if isinstance(period, str) and period.isdigit():
+            period = int(period)
+        recon = GradientDecompositionReconstructor(
+            n_ranks=args.ranks,
+            iterations=args.iterations,
+            lr=lr,
+            mode=args.mode,
+            planner=args.planner,
+            sync_period=period,
+            refine_probe=args.refine_probe,
+        )
+        result = recon.reconstruct(dataset, initial_volume=initial_volume)
+
+    path = save_result(args.out, result)
+    print(f"cost: {result.history[0]:.4e} -> {result.history[-1]:.4e} "
+          f"over {len(result.history)} iterations")
+    print(f"messages: {result.messages}, "
+          f"peak memory/rank: {result.peak_memory_mean / 1e6:.2f} MB")
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from repro.experiments.report import format_table
+    from repro.perfmodel import PerformancePredictor
+    from repro.physics.dataset import large_pbtio3_spec, small_pbtio3_spec
+
+    spec = large_pbtio3_spec() if args.dataset == "large" else small_pbtio3_spec()
+    gpus = [int(g) for g in args.gpus.split(",")]
+    predictor = PerformancePredictor(spec)
+    rows = predictor.sweep(gpus, args.algorithm, planner=args.planner)
+    table = format_table(
+        ["nodes", "GPUs", "mem GB", "time min", "eff %"],
+        [
+            [r.nodes, r.gpus, r.memory_gb, r.runtime_min, r.efficiency_pct]
+            for r in rows
+        ],
+        title=f"{spec.name} — {args.algorithm} — 100 iterations",
+    )
+    print(table)
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro import experiments
+
+    runners = {
+        "table1": experiments.run_table1,
+        "table2": experiments.run_table2,
+        "table3": experiments.run_table3,
+        "fig5": experiments.run_fig5,
+        "fig6": experiments.run_fig6,
+        "fig7a": experiments.run_fig7a,
+        "fig7b": experiments.run_fig7b,
+        "fig8": experiments.run_fig8,
+        "fig9": experiments.run_fig9,
+    }
+    result = runners[args.name]()
+    print(result.format())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "reconstruct": _cmd_reconstruct,
+        "predict": _cmd_predict,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

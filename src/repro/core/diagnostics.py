@@ -1,0 +1,142 @@
+"""Decomposition and schedule diagnostics.
+
+Production tooling for sizing runs before launching them: per-rank load
+balance, the communication matrix, and the schedule's critical path.  The
+CLI's ``predict`` subcommand and the examples build on these; tests pin
+their arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.decomposition import Decomposition
+from repro.schedule.ops import (
+    AllReduceGradient,
+    ApplyBufferUpdate,
+    ApplyProbeUpdate,
+    Barrier,
+    BufferExchange,
+    ComputeGradients,
+    LocalSolve,
+    ProbeSync,
+    Schedule,
+    VoxelPaste,
+)
+
+__all__ = [
+    "LoadBalanceReport",
+    "load_balance",
+    "communication_matrix",
+    "critical_path_length",
+]
+
+
+@dataclass(frozen=True)
+class LoadBalanceReport:
+    """Per-rank probe and pixel distribution statistics."""
+
+    probes_min: int
+    probes_max: int
+    probes_mean: float
+    pixels_min: int
+    pixels_max: int
+    pixels_mean: float
+
+    @property
+    def probe_imbalance(self) -> float:
+        """max/mean probe count (1.0 = perfectly balanced); the waiting-
+        time driver at the pass synchronization points."""
+        if self.probes_mean == 0:
+            return 1.0
+        return self.probes_max / self.probes_mean
+
+    @property
+    def pixel_imbalance(self) -> float:
+        """max/mean extended-tile pixels (memory balance)."""
+        if self.pixels_mean == 0:
+            return 1.0
+        return self.pixels_max / self.pixels_mean
+
+    def format(self) -> str:
+        return (
+            f"probes/rank: min={self.probes_min} mean={self.probes_mean:.1f} "
+            f"max={self.probes_max} (imbalance {self.probe_imbalance:.2f}x)\n"
+            f"ext pixels/rank: min={self.pixels_min} "
+            f"mean={self.pixels_mean:.0f} max={self.pixels_max} "
+            f"(imbalance {self.pixel_imbalance:.2f}x)"
+        )
+
+
+def load_balance(decomp: Decomposition) -> LoadBalanceReport:
+    """Compute the load-balance statistics of a decomposition."""
+    probes = [len(t.all_probes) for t in decomp.tiles]
+    pixels = [t.ext.area for t in decomp.tiles]
+    return LoadBalanceReport(
+        probes_min=min(probes),
+        probes_max=max(probes),
+        probes_mean=float(np.mean(probes)),
+        pixels_min=min(pixels),
+        pixels_max=max(pixels),
+        pixels_mean=float(np.mean(pixels)),
+    )
+
+
+def communication_matrix(
+    schedule: Schedule, pixels_to_bytes: float = 1.0
+) -> np.ndarray:
+    """``(n_ranks, n_ranks)`` matrix of point-to-point traffic (bytes with
+    ``pixels_to_bytes`` = itemsize x slices; region pixels otherwise).
+
+    Collectives are not included — use
+    :meth:`repro.schedule.Schedule.counts` to spot them.
+    """
+    matrix = np.zeros((schedule.n_ranks, schedule.n_ranks))
+    for op in schedule:
+        if isinstance(op, (BufferExchange, VoxelPaste)):
+            matrix[op.src, op.dst] += op.region.area * pixels_to_bytes
+    return matrix
+
+
+#: Abstract op weights for the critical-path estimate: compute ops cost
+#: their probe count, point-to-point ops cost ``EXCHANGE_WEIGHT``.
+EXCHANGE_WEIGHT = 0.05
+
+
+def critical_path_length(schedule: Schedule) -> float:
+    """Longest dependency chain through the schedule, in abstract units
+    (probes computed serially + weighted exchanges).
+
+    The ratio ``total_work / (n_ranks * critical_path)`` bounds achievable
+    parallel efficiency independent of any machine model — a quick sanity
+    check that a planner has not accidentally serialized the iteration.
+    """
+
+    def weight(op) -> float:
+        if isinstance(op, (ComputeGradients, LocalSolve)):
+            return float(len(op.probe_indices))
+        if isinstance(op, (BufferExchange, VoxelPaste)):
+            return EXCHANGE_WEIGHT
+        if isinstance(op, (AllReduceGradient, ProbeSync, Barrier)):
+            return EXCHANGE_WEIGHT
+        if isinstance(op, (ApplyBufferUpdate, ApplyProbeUpdate)):
+            return EXCHANGE_WEIGHT
+        return 0.0
+
+    # Longest path over the DAG given by deps + per-rank program order.
+    finish: Dict[int, float] = {}
+    rank_last: Dict[int, float] = {}
+    for op in schedule:
+        start = 0.0
+        for dep in op.deps:
+            start = max(start, finish.get(dep, 0.0))
+        for rank in op.ranks():
+            start = max(start, rank_last.get(rank, 0.0))
+        end = start + weight(op)
+        finish[op.uid] = end
+        for rank in op.ranks():
+            rank_last[rank] = end
+    return max(finish.values(), default=0.0)

@@ -1,0 +1,239 @@
+"""Forward/backward gradient-accumulation passes and their planners.
+
+This module emits the communication phase of a round into a
+:class:`~repro.schedule.Schedule`:
+
+* :func:`build_appp_passes` — the paper's APPP (Sec. V): vertical forward,
+  vertical backward, horizontal forward, horizontal backward chains of
+  asynchronous point-to-point :class:`BufferExchange` ops, emitted so each
+  rank's program order allows cross-direction pipelining (a bottom-row rank
+  starts its horizontal pass while upper rows still run the vertical
+  backward pass — Fig. 5).
+* :func:`build_barrier_passes` — the same directional passes but with a
+  global :class:`Barrier` between phases (no pipelining; ablation).
+* :func:`build_allreduce_sync` — the rejected alternative (Sec. V): one
+  global all-reduce of the full gradient volume.
+* :func:`build_neighbor_exchanges` — the *direct-neighbour only*
+  accumulation of Sec. III, sufficient for low probe overlap but provably
+  wrong for high overlap (tests demonstrate the failure the paper's
+  Fig. 3(c)-(d) describes, motivating the directional passes).
+
+Semantics of a pass step over overlap region ``R`` between ranks ``a -> b``:
+forward ``AccBuf_b[R] += AccBuf_a[R]`` (mode ``add``), backward
+``AccBuf_b[R] = AccBuf_a[R]`` (mode ``replace``).  After all four phases
+every rank's buffer equals the global gradient restricted to its extended
+tile (the invariant tested property-based in
+``tests/core/test_passes_invariant.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.decomposition import Decomposition
+from repro.schedule.ops import (
+    AllReduceGradient,
+    Barrier,
+    BufferExchange,
+    Op,
+    Schedule,
+)
+
+__all__ = [
+    "build_appp_passes",
+    "build_barrier_passes",
+    "build_allreduce_sync",
+    "build_neighbor_exchanges",
+]
+
+#: Tag namespaces keep vertical/horizontal message streams distinct.
+TAG_VERTICAL = 100
+TAG_HORIZONTAL = 200
+TAG_NEIGHBOR = 300
+
+
+class _DepTracker:
+    """Tracks the last op uid per rank so exchanges depend on the producer
+    ops of both endpoints (for DAG analyses; engines rely on order)."""
+
+    def __init__(self, last: Optional[Dict[int, int]] = None) -> None:
+        self.last: Dict[int, int] = dict(last or {})
+
+    def deps_for(self, *ranks: int) -> List[int]:
+        return sorted({self.last[r] for r in ranks if r in self.last})
+
+    def record(self, op_uid: int, *ranks: int) -> None:
+        for r in ranks:
+            self.last[r] = op_uid
+
+
+def _chain(
+    schedule: Schedule,
+    decomp: Decomposition,
+    ranks: Sequence[int],
+    mode: str,
+    tag: int,
+    tracker: _DepTracker,
+) -> None:
+    """Emit one directional chain: rank[i] -> rank[i+1] exchanges in order.
+
+    ``ranks`` must already be ordered in the pass direction (forward passes
+    pass the natural order, backward passes the reverse).
+    """
+    for a, b in zip(ranks, ranks[1:]):
+        region = decomp.overlap(a, b)
+        if region is None:
+            continue
+        op = BufferExchange(src=a, dst=b, region=region, mode=mode, tag=tag)
+        uid = schedule.add(op, deps=tracker.deps_for(a, b))
+        tracker.record(uid, a, b)
+
+
+def build_appp_passes(
+    schedule: Schedule,
+    decomp: Decomposition,
+    tracker_state: Optional[Dict[int, int]] = None,
+) -> Dict[int, int]:
+    """Emit the APPP pass sequence (Sec. IV + V).
+
+    Phases are emitted back to back with *no* barriers; per-rank program
+    order plus message availability is the only synchronization, exactly
+    like the paper's asynchronous isend/irecv pipelines.  Returns the
+    last-op-per-rank map so callers can chain further ops.
+    """
+    mesh = decomp.mesh
+    tracker = _DepTracker(tracker_state)
+
+    # Vertical forward: top row -> bottom row, per column (Fig. 4(a)).
+    for col in range(mesh.cols):
+        _chain(
+            schedule, decomp, mesh.column_ranks(col), "add", TAG_VERTICAL, tracker
+        )
+    # Vertical backward: bottom -> top, replace (Fig. 4(b)).
+    for col in range(mesh.cols):
+        _chain(
+            schedule,
+            decomp,
+            list(reversed(mesh.column_ranks(col))),
+            "replace",
+            TAG_VERTICAL + 1,
+            tracker,
+        )
+    # Horizontal forward: left -> right, per row (Fig. 4(c)).
+    for row in range(mesh.rows):
+        _chain(
+            schedule, decomp, mesh.row_ranks(row), "add", TAG_HORIZONTAL, tracker
+        )
+    # Horizontal backward: right -> left, replace (Fig. 4(d)).
+    for row in range(mesh.rows):
+        _chain(
+            schedule,
+            decomp,
+            list(reversed(mesh.row_ranks(row))),
+            "replace",
+            TAG_HORIZONTAL + 1,
+            tracker,
+        )
+    return tracker.last
+
+
+def build_barrier_passes(
+    schedule: Schedule,
+    decomp: Decomposition,
+    tracker_state: Optional[Dict[int, int]] = None,
+) -> Dict[int, int]:
+    """Directional passes with a global barrier after each phase —
+    identical numerics to APPP, strictly worse pipelining (ablation for
+    Fig. 7b)."""
+    mesh = decomp.mesh
+    tracker = _DepTracker(tracker_state)
+
+    def barrier() -> None:
+        uid = schedule.add(
+            Barrier(n_ranks=decomp.n_ranks),
+            deps=tracker.deps_for(*range(decomp.n_ranks)),
+        )
+        tracker.record(uid, *range(decomp.n_ranks))
+
+    for col in range(mesh.cols):
+        _chain(schedule, decomp, mesh.column_ranks(col), "add", TAG_VERTICAL, tracker)
+    barrier()
+    for col in range(mesh.cols):
+        _chain(
+            schedule,
+            decomp,
+            list(reversed(mesh.column_ranks(col))),
+            "replace",
+            TAG_VERTICAL + 1,
+            tracker,
+        )
+    barrier()
+    for row in range(mesh.rows):
+        _chain(schedule, decomp, mesh.row_ranks(row), "add", TAG_HORIZONTAL, tracker)
+    barrier()
+    for row in range(mesh.rows):
+        _chain(
+            schedule,
+            decomp,
+            list(reversed(mesh.row_ranks(row))),
+            "replace",
+            TAG_HORIZONTAL + 1,
+            tracker,
+        )
+    barrier()
+    return tracker.last
+
+
+def build_allreduce_sync(
+    schedule: Schedule,
+    decomp: Decomposition,
+    tracker_state: Optional[Dict[int, int]] = None,
+) -> Dict[int, int]:
+    """The "natural choice" the paper rejects (Sec. V): synchronize
+    buffers with one global all-reduce of the full gradient volume.
+    Numerically equivalent to the passes; communication cost scales with
+    the whole volume instead of the overlap regions."""
+    tracker = _DepTracker(tracker_state)
+    uid = schedule.add(
+        AllReduceGradient(n_ranks=decomp.n_ranks),
+        deps=tracker.deps_for(*range(decomp.n_ranks)),
+    )
+    tracker.record(uid, *range(decomp.n_ranks))
+    return tracker.last
+
+
+def build_neighbor_exchanges(
+    schedule: Schedule,
+    decomp: Decomposition,
+    tracker_state: Optional[Dict[int, int]] = None,
+) -> Dict[int, int]:
+    """Direct-neighbour gradient accumulation only (Sec. III).
+
+    Every ordered pair of 8-connected mesh neighbours adds its buffer into
+    the other's over their overlap.  Correct when probe circles only
+    overlap direct neighbours (low overlap); for high overlap, indirect
+    tiles never hear from each other — the failure mode of Fig. 3(d) that
+    motivates the directional passes.  Kept as an ablation planner.
+    """
+    tracker = _DepTracker(tracker_state)
+    n = decomp.n_ranks
+    # Each pair exchanges symmetrically; stage the adds on a snapshot
+    # semantic: emit A->B and B->A using pre-exchange values.  The numeric
+    # engine snapshots payloads at send time, so emitting all sends of a
+    # pair adjacently is NOT order-safe (the second send would include the
+    # first add).  We therefore emit sends in two sweeps: all lower->higher
+    # first, recording payload snapshots, then higher->lower — but a
+    # snapshot of the higher rank taken after its add would double-count.
+    # The engine resolves this by honoring the ``snapshot`` tag: sends
+    # tagged TAG_NEIGHBOR use the rank's pre-round buffer copy.
+    for a in range(n):
+        for b in decomp.mesh.neighbors8(a):
+            region = decomp.overlap(a, b)
+            if region is None:
+                continue
+            op = BufferExchange(
+                src=a, dst=b, region=region, mode="add", tag=TAG_NEIGHBOR
+            )
+            uid = schedule.add(op, deps=tracker.deps_for(a, b))
+            tracker.record(uid, a, b)
+    return tracker.last

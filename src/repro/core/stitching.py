@@ -1,0 +1,49 @@
+"""Final stitching: abandon halos, concatenate core tiles (Alg. 1 line 20)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.decomposition import Decomposition
+
+__all__ = ["stitch"]
+
+
+def stitch(
+    decomp: Decomposition, volumes: Sequence[np.ndarray], n_slices: int
+) -> np.ndarray:
+    """Assemble the final reconstruction from per-rank extended tiles.
+
+    Each rank contributes exactly its **core** region; halos are discarded.
+    Because core tiles partition the image, every output voxel is written
+    exactly once.
+
+    Parameters
+    ----------
+    decomp:
+        The decomposition the volumes were produced under.
+    volumes:
+        Per-rank arrays of shape ``(n_slices, ext.height, ext.width)``.
+    n_slices:
+        Multislice depth (validated against the volumes).
+    """
+    if len(volumes) != decomp.n_ranks:
+        raise ValueError(
+            f"got {len(volumes)} volumes for {decomp.n_ranks} ranks"
+        )
+    bounds = decomp.bounds
+    out = np.zeros(
+        (n_slices, bounds.height, bounds.width), dtype=volumes[0].dtype
+    )
+    for tile, vol in zip(decomp.tiles, volumes):
+        expected = (n_slices, tile.ext.height, tile.ext.width)
+        if vol.shape != expected:
+            raise ValueError(
+                f"rank {tile.rank} volume shape {vol.shape} != {expected}"
+            )
+        src = tile.core.slices_in(tile.ext)
+        dst = tile.core.slices_in(bounds)
+        out[:, dst[0], dst[1]] = vol[:, src[0], src[1]]
+    return out

@@ -1,0 +1,108 @@
+"""Fig. 6 — an example Lead Titanate image.
+
+The paper's Fig. 6 shows a PbTiO3 slice where "each circle in the image
+represents a small group of atoms".  We regenerate it from the synthetic
+specimen generator and *verify* the physics it illustrates: the bright
+circles are atomic columns arranged on the perovskite lattice with the
+correct ~390 pm spacing, dominated by the heavy Pb sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.physics.potential import SpecimenSpec, make_specimen
+
+__all__ = ["Fig6Result", "run_fig6"]
+
+
+def _find_peaks_2d(image: np.ndarray, threshold: float) -> List[Tuple[int, int]]:
+    """Local maxima above ``threshold`` (8-neighbourhood)."""
+    peaks = []
+    rows, cols = image.shape
+    for r in range(1, rows - 1):
+        for c in range(1, cols - 1):
+            v = image[r, c]
+            if v < threshold:
+                continue
+            patch = image[r - 1 : r + 2, c - 1 : c + 2]
+            if v >= patch.max():
+                peaks.append((r, c))
+    return peaks
+
+
+@dataclass
+class Fig6Result:
+    """The rendered slice plus its structural analysis."""
+
+    phase_image: np.ndarray = field(repr=False)
+    atom_columns: List[Tuple[int, int]]
+    lattice_spacing_px: float
+    spec: SpecimenSpec
+
+    def format(self) -> str:
+        expected = self.spec.lattice_a_pm / self.spec.pixel_size_pm
+        lines = [
+            "Fig. 6 — synthetic Lead Titanate slice",
+            f"  field of view: {self.phase_image.shape[0]}x"
+            f"{self.phase_image.shape[1]} px "
+            f"({self.phase_image.shape[0] * self.spec.pixel_size_pm / 1000:.1f} nm)",
+            f"  atomic columns detected: {len(self.atom_columns)}",
+            f"  measured lattice spacing: {self.lattice_spacing_px:.1f} px "
+            f"(expected {expected:.1f} px = {self.spec.lattice_a_pm:g} pm)",
+            "",
+            self.ascii_render(),
+        ]
+        return "\n".join(lines)
+
+    def ascii_render(self, width: int = 64) -> str:
+        """Downsampled ASCII view of the phase image (the paper's circles
+        appear as bright blobs)."""
+        img = self.phase_image
+        step = max(1, img.shape[1] // width)
+        sampled = img[::step, ::step]
+        lo, hi = sampled.min(), sampled.max()
+        scale = " .:-=+*#%@"
+        norm = (sampled - lo) / max(hi - lo, 1e-12)
+        rows = []
+        for r in range(sampled.shape[0]):
+            rows.append(
+                "".join(scale[int(v * (len(scale) - 1))] for v in norm[r])
+            )
+        return "\n".join(rows)
+
+    def lattice_matches(self, tolerance: float = 0.15) -> bool:
+        """Measured column spacing within ``tolerance`` of the PbTiO3
+        lattice constant."""
+        expected = self.spec.lattice_a_pm / self.spec.pixel_size_pm
+        return abs(self.lattice_spacing_px - expected) <= tolerance * expected
+
+
+def run_fig6(shape: Tuple[int, int] = (192, 192)) -> Fig6Result:
+    """Render and analyze a PbTiO3 slice."""
+    spec = SpecimenSpec(shape=shape, n_slices=2)
+    volume = make_specimen(spec)  # perfect crystal for clean analysis
+    phase = np.angle(volume[0])
+
+    peaks = _find_peaks_2d(phase, threshold=0.5 * phase.max())
+    # Nearest-neighbour spacing among detected columns.
+    spacing = float("nan")
+    if len(peaks) >= 2:
+        pts = np.asarray(peaks, dtype=np.float64)
+        dists = []
+        for i in range(len(pts)):
+            d = np.hypot(
+                pts[:, 0] - pts[i, 0], pts[:, 1] - pts[i, 1]
+            )
+            d[i] = np.inf
+            dists.append(d.min())
+        spacing = float(np.median(dists))
+    return Fig6Result(
+        phase_image=phase,
+        atom_columns=peaks,
+        lattice_spacing_px=spacing,
+        spec=spec,
+    )

@@ -1,0 +1,97 @@
+"""Fig. 7a — strong-scaling curves for both datasets vs the ideal O(1/P).
+
+The paper plots runtime against GPU count for both Lead Titanate datasets
+together with the ideal linear-speedup line; super-linear segments sit
+*below* the ideal line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.experiments.report import format_table
+from repro.metrics.scaling import strong_scaling_efficiency
+from repro.perfmodel.machine import MachineSpec, SUMMIT
+from repro.perfmodel.predictor import PerformancePredictor
+from repro.physics.dataset import large_pbtio3_spec, small_pbtio3_spec
+
+__all__ = ["Fig7aResult", "run_fig7a"]
+
+
+@dataclass
+class ScalingSeries:
+    """One curve of Fig. 7a."""
+
+    label: str
+    gpus: List[int]
+    runtime_min: List[float]
+
+    def ideal_runtime_min(self) -> List[float]:
+        """The O(1/P) reference anchored at the first point."""
+        base = self.runtime_min[0] * self.gpus[0]
+        return [base / g for g in self.gpus]
+
+    def efficiency_pct(self) -> List[float]:
+        return strong_scaling_efficiency(self.runtime_min, self.gpus)
+
+
+@dataclass
+class Fig7aResult:
+    """Both dataset curves."""
+
+    series: List[ScalingSeries]
+
+    def format(self) -> str:
+        blocks = []
+        for s in self.series:
+            rows = [
+                [g, t, i, e]
+                for g, t, i, e in zip(
+                    s.gpus,
+                    s.runtime_min,
+                    s.ideal_runtime_min(),
+                    s.efficiency_pct(),
+                )
+            ]
+            blocks.append(
+                format_table(
+                    ["GPUs", "time min", "ideal O(1/P)", "eff %"],
+                    rows,
+                    title=f"Fig. 7a — {s.label}",
+                )
+            )
+        return "\n\n".join(blocks)
+
+    def superlinear_points(self, label: str) -> List[int]:
+        """GPU counts where the curve beats the ideal line (the paper's
+        super-linear region)."""
+        s = next(x for x in self.series if x.label == label)
+        return [
+            g
+            for g, t, i in zip(s.gpus, s.runtime_min, s.ideal_runtime_min())
+            if t < i
+        ]
+
+
+def run_fig7a(
+    small_gpus: Sequence[int] = (6, 24, 54, 126, 198, 462),
+    large_gpus: Sequence[int] = (6, 54, 198, 462, 924, 4158),
+    machine: MachineSpec = SUMMIT,
+) -> Fig7aResult:
+    """Regenerate the Fig. 7a series from the performance model."""
+    out = []
+    for label, spec, gpus in (
+        ("small Lead Titanate", small_pbtio3_spec(), small_gpus),
+        ("large Lead Titanate", large_pbtio3_spec(), large_gpus),
+    ):
+        predictor = PerformancePredictor(spec, machine=machine)
+        rows = predictor.sweep(gpus, "gd")
+        out.append(
+            ScalingSeries(
+                label=label,
+                gpus=[r.gpus for r in rows],
+                runtime_min=[float(r.runtime_min) for r in rows],
+            )
+        )
+    return Fig7aResult(series=out)

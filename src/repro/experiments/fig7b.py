@@ -1,0 +1,102 @@
+"""Fig. 7b — runtime breakdown with and without APPP (large dataset).
+
+Per-GPU-count bars of computation / GPU waiting / communication time, for
+the APPP pipelined passes versus the all-reduce alternative ("w/o APPP").
+The paper's headline observations, which this experiment checks:
+
+* with APPP, communication overhead stays low even at 462 GPUs;
+* without it, communication dominates at 462 GPUs (16x more comm time);
+* GPU waiting time decreases as GPUs increase (263 min at 24 GPUs down to
+  ~a second at 462).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.experiments.report import format_table
+from repro.perfmodel.machine import MachineSpec, SUMMIT
+from repro.perfmodel.predictor import PerformancePredictor
+from repro.physics.dataset import large_pbtio3_spec
+
+__all__ = ["Fig7bResult", "run_fig7b"]
+
+
+@dataclass
+class BreakdownRow:
+    """One bar group: mean per-rank minutes over the full 100 iterations."""
+
+    gpus: int
+    planner: str
+    compute_min: float
+    wait_min: float
+    comm_min: float
+
+    @property
+    def total_min(self) -> float:
+        return self.compute_min + self.wait_min + self.comm_min
+
+
+@dataclass
+class Fig7bResult:
+    """All bar groups."""
+
+    rows: List[BreakdownRow]
+
+    def format(self) -> str:
+        table_rows = [
+            [r.gpus, r.planner, r.compute_min, r.wait_min, r.comm_min, r.total_min]
+            for r in self.rows
+        ]
+        return format_table(
+            ["GPUs", "planner", "compute min", "wait min", "comm min", "total"],
+            table_rows,
+            title="Fig. 7b — runtime breakdown, APPP vs w/o APPP (large dataset)",
+        )
+
+    # ------------------------------------------------------------------
+    def comm_ratio(self, gpus: int) -> float:
+        """comm(w/o APPP) / comm(APPP) at ``gpus`` (paper: 16x at 462)."""
+        appp = next(
+            r for r in self.rows if r.gpus == gpus and r.planner == "appp"
+        )
+        other = next(
+            r for r in self.rows if r.gpus == gpus and r.planner != "appp"
+        )
+        if appp.comm_min == 0:
+            return float("inf")
+        return other.comm_min / appp.comm_min
+
+    def wait_series(self, planner: str = "appp") -> Dict[int, float]:
+        """GPU waiting minutes by GPU count (decreasing, per the paper)."""
+        return {
+            r.gpus: r.wait_min for r in self.rows if r.planner == planner
+        }
+
+
+def run_fig7b(
+    gpu_counts: Sequence[int] = (24, 54, 126, 198, 462),
+    machine: MachineSpec = SUMMIT,
+    iterations: int = 100,
+) -> Fig7bResult:
+    """Regenerate the Fig. 7b breakdown from the event simulation of the
+    actual APPP and all-reduce schedules."""
+    predictor = PerformancePredictor(
+        large_pbtio3_spec(), machine=machine, iterations=iterations
+    )
+    rows: List[BreakdownRow] = []
+    scale = iterations / 60.0
+    for gpus in gpu_counts:
+        for planner, label in (("appp", "appp"), ("allreduce", "w/o appp")):
+            report = predictor.gd_report(gpus, planner=planner)
+            rows.append(
+                BreakdownRow(
+                    gpus=gpus,
+                    planner=label,
+                    compute_min=report.mean("compute_s") * scale,
+                    wait_min=report.mean("wait_s") * scale,
+                    comm_min=report.mean("comm_s") * scale,
+                )
+            )
+    return Fig7bResult(rows=rows)

@@ -1,0 +1,94 @@
+"""Table I — dataset sizes for measurements and reconstructions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments.report import format_table
+from repro.physics.dataset import (
+    DatasetSpec,
+    large_pbtio3_spec,
+    small_pbtio3_spec,
+)
+
+__all__ = ["Table1Result", "run_table1"]
+
+#: Paper Table I reference values.
+PAPER_TABLE1 = {
+    "pbtio3-small": {
+        "measurements": "1024 x 1024 x 4158",
+        "reconstruction": "1536 x 1536 x 100",
+        "resolution": "10 x 10 x 125 pm^3",
+    },
+    "pbtio3-large": {
+        "measurements": "1024 x 1024 x 16632",
+        "reconstruction": "3072 x 3072 x 100",
+        "resolution": "10 x 10 x 125 pm^3",
+    },
+}
+
+
+@dataclass
+class Table1Result:
+    """Dataset inventory with byte sizes."""
+
+    specs: List[DatasetSpec]
+
+    def rows(self) -> List[List[str]]:
+        out = []
+        for s in self.specs:
+            out.append(
+                [
+                    s.name,
+                    f"{s.detector_px} x {s.detector_px} x {s.n_probes}",
+                    f"{s.object_shape[0]} x {s.object_shape[1]} x {s.n_slices}",
+                    f"{s.pixel_size_pm:g} x {s.pixel_size_pm:g} x "
+                    f"{s.slice_thickness_pm:g} pm^3",
+                    f"{s.measurement_bytes_total / 1e9:.1f}",
+                    f"{s.volume_bytes_total / 1e9:.1f}",
+                ]
+            )
+        return out
+
+    def format(self) -> str:
+        """Measured table next to the paper's reference values."""
+        table = format_table(
+            [
+                "dataset",
+                "measurements y",
+                "reconstruction V",
+                "voxel size",
+                "y GB",
+                "V GB",
+            ],
+            self.rows(),
+            title="Table I — dataset sizes (this reproduction)",
+        )
+        ref_rows = [
+            [name, v["measurements"], v["reconstruction"], v["resolution"]]
+            for name, v in PAPER_TABLE1.items()
+        ]
+        ref = format_table(
+            ["dataset", "measurements y", "reconstruction V", "voxel size"],
+            ref_rows,
+            title="Paper Table I (reference)",
+        )
+        return table + "\n\n" + ref
+
+    def matches_paper(self) -> bool:
+        """Structural equality with the paper's Table I."""
+        for s in self.specs:
+            ref = PAPER_TABLE1[s.name]
+            ours = f"{s.detector_px} x {s.detector_px} x {s.n_probes}"
+            if ours != ref["measurements"]:
+                return False
+            ours = f"{s.object_shape[0]} x {s.object_shape[1]} x {s.n_slices}"
+            if ours != ref["reconstruction"]:
+                return False
+        return True
+
+
+def run_table1() -> Table1Result:
+    """Build the Table I inventory from the full-size dataset specs."""
+    return Table1Result(specs=[small_pbtio3_spec(), large_pbtio3_spec()])

@@ -1,0 +1,102 @@
+"""Table II — small-dataset performance comparison (6..462 GPUs).
+
+Gradient Decomposition memory/runtime/efficiency versus Halo Voxel
+Exchange, including the HVE "NA" rows beyond 54 GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.report import format_table
+from repro.perfmodel.machine import MachineSpec, SUMMIT
+from repro.perfmodel.predictor import NA, PerformancePredictor, ScalingRow
+from repro.physics.dataset import small_pbtio3_spec
+
+__all__ = ["Table2Result", "run_table2", "PAPER_TABLE2_GD", "PAPER_TABLE2_HVE"]
+
+#: Paper Table II(a): GPUs -> (memory GB, runtime min, efficiency %).
+PAPER_TABLE2_GD: Dict[int, tuple] = {
+    6: (2.53, 360.0, 100),
+    24: (1.20, 73.0, 123),
+    54: (0.58, 20.6, 194),
+    126: (0.39, 11.5, 149),
+    198: (0.31, 5.5, 198),
+    462: (0.23, 3.0, 158),
+}
+
+#: Paper Table II(b): Halo Voxel Exchange, NA beyond 54 GPUs.
+PAPER_TABLE2_HVE: Dict[int, tuple] = {
+    6: (2.80, 463.3, 100),
+    24: (1.20, 95.3, 121),
+    54: (0.78, 43.7, 118),
+    126: (NA, NA, NA),
+}
+
+
+@dataclass
+class Table2Result:
+    """Modeled rows for both algorithms plus the paper references."""
+
+    gd_rows: List[ScalingRow]
+    hve_rows: List[ScalingRow]
+    paper_gd: Dict[int, tuple] = field(default_factory=lambda: PAPER_TABLE2_GD)
+    paper_hve: Dict[int, tuple] = field(default_factory=lambda: PAPER_TABLE2_HVE)
+
+    def _format_side(
+        self, rows: List[ScalingRow], paper: Dict[int, tuple], title: str
+    ) -> str:
+        table_rows = []
+        for r in rows:
+            ref = paper.get(r.gpus, (NA, NA, NA))
+            table_rows.append(
+                [
+                    r.nodes,
+                    r.gpus,
+                    r.memory_gb,
+                    ref[0],
+                    r.runtime_min,
+                    ref[1],
+                    r.efficiency_pct,
+                    ref[2],
+                ]
+            )
+        return format_table(
+            [
+                "nodes",
+                "GPUs",
+                "mem GB",
+                "paper",
+                "time min",
+                "paper",
+                "eff %",
+                "paper",
+            ],
+            table_rows,
+            title=title,
+        )
+
+    def format(self) -> str:
+        return (
+            self._format_side(
+                self.gd_rows, self.paper_gd, "Table II(a) — Gradient Decomposition"
+            )
+            + "\n\n"
+            + self._format_side(
+                self.hve_rows, self.paper_hve, "Table II(b) — Halo Voxel Exchange"
+            )
+        )
+
+
+def run_table2(
+    gpu_counts: Sequence[int] = (6, 24, 54, 126, 198, 462),
+    hve_gpu_counts: Sequence[int] = (6, 24, 54, 126),
+    machine: MachineSpec = SUMMIT,
+) -> Table2Result:
+    """Regenerate Table II at the paper's full small-dataset scale."""
+    predictor = PerformancePredictor(small_pbtio3_spec(), machine=machine)
+    return Table2Result(
+        gd_rows=predictor.sweep(gpu_counts, "gd"),
+        hve_rows=predictor.sweep(hve_gpu_counts, "hve"),
+    )

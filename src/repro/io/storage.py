@@ -1,0 +1,172 @@
+"""Persistence for acquisitions and reconstructions.
+
+Single-file compressed ``.npz`` archives:
+
+* **datasets** — measured amplitudes, probe wavefunction, the full
+  :class:`~repro.physics.dataset.DatasetSpec` (as JSON), and optionally the
+  ground-truth volume.  ``load_dataset`` reconstructs a fully functional
+  :class:`PtychoDataset` (scan geometry is derived from the spec, so the
+  archive stays compact).
+* **results** — stitched volume, cost history, refined probe (if any), and
+  run metadata.  Together with the reconstructors' ``initial_volume``
+  parameter this gives checkpoint/restart.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.core.reconstructor import ReconstructionResult
+from repro.physics.dataset import DatasetSpec, PtychoDataset
+from repro.physics.probe import Probe
+from repro.physics.scan import RasterScan
+
+__all__ = [
+    "save_dataset",
+    "load_dataset",
+    "save_result",
+    "load_result",
+    "ResultArchive",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _spec_to_json(spec: DatasetSpec) -> str:
+    return json.dumps(dataclasses.asdict(spec))
+
+
+def _spec_from_json(payload: str) -> DatasetSpec:
+    raw = json.loads(payload)
+    raw["scan_grid"] = tuple(raw["scan_grid"])
+    raw["object_shape"] = tuple(raw["object_shape"])
+    return DatasetSpec(**raw)
+
+
+# ----------------------------------------------------------------------
+# Datasets
+# ----------------------------------------------------------------------
+def save_dataset(
+    path: Union[str, Path],
+    dataset: PtychoDataset,
+    include_ground_truth: bool = True,
+) -> Path:
+    """Write ``dataset`` to a compressed npz archive; returns the path."""
+    path = Path(path)
+    payload = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "kind": np.array("dataset"),
+        "spec_json": np.array(_spec_to_json(dataset.spec)),
+        "amplitudes": dataset.amplitudes,
+        "probe": dataset.probe.array,
+    }
+    if include_ground_truth and dataset.ground_truth is not None:
+        payload["ground_truth"] = dataset.ground_truth
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_dataset(path: Union[str, Path]) -> PtychoDataset:
+    """Read an acquisition archive written by :func:`save_dataset`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        _check_kind(archive, "dataset", path)
+        spec = _spec_from_json(str(archive["spec_json"]))
+        amplitudes = archive["amplitudes"]
+        probe_array = archive["probe"]
+        ground_truth = (
+            archive["ground_truth"] if "ground_truth" in archive else None
+        )
+    scan = RasterScan(spec.scan_spec(), probe_window_px=spec.detector_px)
+    if amplitudes.shape[0] != scan.n_positions:
+        raise ValueError(
+            f"archive holds {amplitudes.shape[0]} measurements but the spec "
+            f"describes {scan.n_positions} probe locations"
+        )
+    return PtychoDataset(
+        spec=spec,
+        probe=Probe(array=probe_array, spec=spec.probe_spec),
+        scan=scan,
+        amplitudes=amplitudes,
+        ground_truth=ground_truth,
+    )
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass
+class ResultArchive:
+    """A reconstruction loaded from disk (decomposition geometry is not
+    persisted — only what a downstream consumer needs)."""
+
+    volume: np.ndarray
+    history: List[float]
+    messages: int
+    message_bytes: int
+    peak_memory_per_rank: List[int]
+    n_ranks: int
+    probe: Optional[np.ndarray] = None
+
+    @property
+    def final_cost(self) -> float:
+        """Last recorded sweep cost."""
+        return self.history[-1] if self.history else float("nan")
+
+
+def save_result(
+    path: Union[str, Path], result: ReconstructionResult
+) -> Path:
+    """Write a :class:`ReconstructionResult` to a compressed npz archive."""
+    path = Path(path)
+    payload = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "kind": np.array("result"),
+        "volume": result.volume,
+        "history": np.asarray(result.history, dtype=np.float64),
+        "messages": np.array(result.messages, dtype=np.int64),
+        "message_bytes": np.array(result.message_bytes, dtype=np.int64),
+        "peak_memory_per_rank": np.asarray(
+            result.peak_memory_per_rank, dtype=np.int64
+        ),
+        "n_ranks": np.array(result.decomposition.n_ranks, dtype=np.int64),
+    }
+    if result.probe is not None:
+        payload["probe"] = result.probe
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_result(path: Union[str, Path]) -> ResultArchive:
+    """Read a reconstruction archive written by :func:`save_result`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        _check_kind(archive, "result", path)
+        return ResultArchive(
+            volume=archive["volume"],
+            history=[float(x) for x in archive["history"]],
+            messages=int(archive["messages"]),
+            message_bytes=int(archive["message_bytes"]),
+            peak_memory_per_rank=[
+                int(x) for x in archive["peak_memory_per_rank"]
+            ],
+            n_ranks=int(archive["n_ranks"]),
+            probe=archive["probe"] if "probe" in archive else None,
+        )
+
+
+def _check_kind(archive, expected: str, path) -> None:
+    if "kind" not in archive:
+        raise ValueError(f"{path} is not a repro archive")
+    kind = str(archive["kind"])
+    if kind != expected:
+        raise ValueError(f"{path} holds a {kind!r} archive, not {expected!r}")
+    version = int(archive["format_version"])
+    if version > _FORMAT_VERSION:
+        raise ValueError(
+            f"{path} uses format v{version}; this build reads <= v{_FORMAT_VERSION}"
+        )

@@ -1,0 +1,45 @@
+"""Cost-history summaries for convergence studies (paper Fig. 9)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["relative_decrease", "iterations_to_fraction", "auc_cost"]
+
+
+def _check_history(history: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(history, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("history must be a non-empty 1-D sequence")
+    return arr
+
+
+def relative_decrease(history: Sequence[float]) -> float:
+    """``final / initial`` cost ratio (lower = better convergence)."""
+    arr = _check_history(history)
+    if arr[0] == 0:
+        return 0.0 if arr[-1] == 0 else float("inf")
+    return float(arr[-1] / arr[0])
+
+
+def iterations_to_fraction(history: Sequence[float], fraction: float) -> int:
+    """First iteration index whose cost drops to ``fraction * initial``;
+    ``len(history)`` when never reached.  The Fig. 9 comparison metric
+    ("which communication frequency reaches a target residual first")."""
+    if not (0.0 < fraction <= 1.0):
+        raise ValueError("fraction must be in (0, 1]")
+    arr = _check_history(history)
+    target = arr[0] * fraction
+    hits = np.flatnonzero(arr <= target)
+    return int(hits[0]) if hits.size else len(arr)
+
+
+def auc_cost(history: Sequence[float]) -> float:
+    """Area under the (normalized) cost curve — a single-number
+    convergence-speed summary robust to final-value ties."""
+    arr = _check_history(history)
+    if arr[0] == 0:
+        return 0.0
+    return float(np.trapezoid(arr / arr[0]))

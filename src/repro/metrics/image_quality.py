@@ -1,0 +1,82 @@
+"""Image-quality metrics against ground truth.
+
+Ptychographic reconstructions have a global-phase gauge freedom (the data
+only constrain ``|G(p, V)|``), so complex comparisons first align the
+global phase before measuring error.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["rmse", "psnr", "complex_correlation", "phase_rmse", "align_phase"]
+
+
+def _check_same_shape(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+
+
+def align_phase(volume: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Multiply ``volume`` by the unit phasor that best aligns it to
+    ``reference`` (least squares over all voxels)."""
+    _check_same_shape(volume, reference)
+    inner = np.vdot(volume, reference)
+    if np.abs(inner) == 0:
+        return volume
+    return volume * (inner / np.abs(inner))
+
+
+def rmse(volume: np.ndarray, reference: np.ndarray, align: bool = True) -> float:
+    """Root-mean-square complex error, optionally phase-aligned."""
+    _check_same_shape(volume, reference)
+    v = align_phase(volume, reference) if align else volume
+    return float(np.sqrt(np.mean(np.abs(v - reference) ** 2)))
+
+
+def psnr(
+    volume: np.ndarray,
+    reference: np.ndarray,
+    align: bool = True,
+    peak: Optional[float] = None,
+) -> float:
+    """Peak signal-to-noise ratio in dB (peak defaults to
+    ``max|reference|``)."""
+    err = rmse(volume, reference, align=align)
+    if peak is None:
+        peak = float(np.max(np.abs(reference)))
+    if err == 0:
+        return float("inf")
+    if peak <= 0:
+        raise ValueError("peak must be positive")
+    return 20.0 * np.log10(peak / err)
+
+
+def complex_correlation(volume: np.ndarray, reference: np.ndarray) -> float:
+    """Magnitude of the normalized complex inner product in [0, 1]
+    (1 = identical up to a global phase and scale)."""
+    _check_same_shape(volume, reference)
+    denom = np.linalg.norm(volume.ravel()) * np.linalg.norm(reference.ravel())
+    if denom == 0:
+        return 0.0
+    return float(np.abs(np.vdot(volume, reference)) / denom)
+
+
+def phase_rmse(
+    volume: np.ndarray, reference: np.ndarray, mask: Optional[np.ndarray] = None
+) -> float:
+    """RMS phase error in radians after global-phase alignment.
+
+    ``mask`` restricts the comparison (e.g. to the well-scanned interior);
+    defaults to all voxels.
+    """
+    _check_same_shape(volume, reference)
+    v = align_phase(volume, reference)
+    dphi = np.angle(v * np.conj(reference))
+    if mask is not None:
+        if mask.shape != dphi.shape:
+            raise ValueError("mask shape mismatch")
+        dphi = dphi[mask]
+    return float(np.sqrt(np.mean(dphi**2)))

@@ -1,0 +1,202 @@
+"""``VirtualComm`` — an in-process, mpi4py-shaped message layer.
+
+The numeric engine moves *every* inter-tile array through this layer:
+``isend``/``irecv`` mirror ``mpi4py.MPI.Comm`` semantics (tags, Requests
+with ``wait()``), and the comm records message counts and byte volumes so
+experiment reports use measured traffic, not estimates.
+
+Because the numeric engine executes a schedule in topological order, a
+matching send always precedes its receive; a receive that finds no matching
+message therefore indicates a schedule bug and raises :class:`CommError`
+immediately (the in-process analogue of an MPI deadlock).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Message", "Request", "VirtualComm", "CommError"]
+
+
+class CommError(RuntimeError):
+    """Raised on messaging protocol violations (unmatched receive, bad
+    rank, double-completed request)."""
+
+
+@dataclass
+class Message:
+    """An in-flight message."""
+
+    src: int
+    dst: int
+    tag: int
+    payload: Any
+    nbytes: int
+
+
+@dataclass
+class Request:
+    """Handle returned by the non-blocking operations.
+
+    ``wait()`` completes the operation: for an isend it is a no-op (the
+    payload was buffered eagerly); for an irecv it dequeues and returns the
+    payload.
+    """
+
+    comm: "VirtualComm" = field(repr=False)
+    kind: str = "send"
+    src: int = -1
+    dst: int = -1
+    tag: int = 0
+    _done: bool = False
+    _payload: Any = None
+
+    def wait(self) -> Any:
+        """Complete the operation; returns the payload for receives."""
+        if self._done:
+            raise CommError("request already completed")
+        self._done = True
+        if self.kind == "recv":
+            self._payload = self.comm._pop_message(self.src, self.dst, self.tag)
+            return self._payload
+        return None
+
+    def test(self) -> Tuple[bool, Any]:
+        """Non-destructively check for completion readiness.
+
+        Sends are always ready; receives are ready when a matching message
+        is queued.  Mirrors ``mpi4py.MPI.Request.test``.
+        """
+        if self._done:
+            return True, self._payload
+        if self.kind == "send":
+            return True, None
+        ready = self.comm._has_message(self.src, self.dst, self.tag)
+        return ready, None
+
+
+def _payload_nbytes(payload: Any) -> int:
+    """Best-effort byte size of a payload (ndarray or pickled-ish object)."""
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    return 64  # small python object envelope
+
+
+class VirtualComm:
+    """Mailbox-based communicator over ``n_ranks`` in-process ranks."""
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        self._n_ranks = n_ranks
+        self._queues: Dict[Tuple[int, int, int], Deque[Message]] = defaultdict(
+            deque
+        )
+        self.sent_messages = 0
+        self.sent_bytes = 0
+        self.per_rank_sent_bytes = np.zeros(n_ranks, dtype=np.int64)
+        self.allreduce_calls = 0
+
+    # ------------------------------------------------------------------
+    def Get_size(self) -> int:
+        """Communicator size (mpi4py spelling)."""
+        return self._n_ranks
+
+    @property
+    def n_ranks(self) -> int:
+        """Communicator size."""
+        return self._n_ranks
+
+    def _check_rank(self, rank: int, name: str) -> None:
+        if not (0 <= rank < self._n_ranks):
+            raise CommError(f"{name} rank {rank} out of range [0,{self._n_ranks})")
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def send(self, payload: Any, src: int, dst: int, tag: int = 0) -> None:
+        """Blocking-style send (buffered: completes immediately).
+
+        Arrays are snapshot-copied so later in-place mutation at the sender
+        cannot leak into the receiver — the engine must not cheat the
+        message-passing semantics.
+        """
+        self._check_rank(src, "source")
+        self._check_rank(dst, "destination")
+        if src == dst:
+            raise CommError("self-send: src == dst")
+        if isinstance(payload, np.ndarray):
+            payload = payload.copy()
+        msg = Message(src, dst, tag, payload, _payload_nbytes(payload))
+        self._queues[(src, dst, tag)].append(msg)
+        self.sent_messages += 1
+        self.sent_bytes += msg.nbytes
+        self.per_rank_sent_bytes[src] += msg.nbytes
+
+    def isend(self, payload: Any, src: int, dst: int, tag: int = 0) -> Request:
+        """Non-blocking send; the returned request's ``wait`` is a no-op."""
+        self.send(payload, src, dst, tag)
+        return Request(comm=self, kind="send", src=src, dst=dst, tag=tag)
+
+    def recv(self, dst: int, src: int, tag: int = 0) -> Any:
+        """Blocking receive of the oldest matching message."""
+        return self._pop_message(src, dst, tag)
+
+    def irecv(self, dst: int, src: int, tag: int = 0) -> Request:
+        """Non-blocking receive; completes on ``wait()``."""
+        self._check_rank(src, "source")
+        self._check_rank(dst, "destination")
+        return Request(comm=self, kind="recv", src=src, dst=dst, tag=tag)
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def allreduce_sum(self, contributions: List[np.ndarray]) -> np.ndarray:
+        """Sum of per-rank arrays, returned to every rank (conceptually).
+
+        The numeric engine calls this with one (aligned) array per rank;
+        byte accounting charges the ring-allreduce volume
+        ``2*(P-1)/P * nbytes`` per rank.
+        """
+        if len(contributions) != self._n_ranks:
+            raise CommError(
+                f"allreduce needs {self._n_ranks} contributions, "
+                f"got {len(contributions)}"
+            )
+        total = np.zeros_like(contributions[0])
+        for arr in contributions:
+            if arr.shape != total.shape:
+                raise CommError("allreduce contributions must share a shape")
+            total += arr
+        per_rank = 2.0 * (self._n_ranks - 1) / self._n_ranks * total.nbytes
+        self.sent_bytes += int(per_rank * self._n_ranks)
+        self.sent_messages += 2 * (self._n_ranks - 1)
+        self.per_rank_sent_bytes += int(per_rank)
+        self.allreduce_calls += 1
+        return total
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _has_message(self, src: int, dst: int, tag: int) -> bool:
+        return bool(self._queues.get((src, dst, tag)))
+
+    def _pop_message(self, src: int, dst: int, tag: int) -> Any:
+        queue = self._queues.get((src, dst, tag))
+        if not queue:
+            raise CommError(
+                f"receive with no matching message: src={src} dst={dst} "
+                f"tag={tag} (schedule ordering bug?)"
+            )
+        return queue.popleft().payload
+
+    def pending_messages(self) -> int:
+        """Messages sent but not yet received (should be zero at the end of
+        a well-formed schedule — asserted in tests)."""
+        return sum(len(q) for q in self._queues.values())

@@ -1,0 +1,91 @@
+"""Per-rank memory accounting.
+
+The numeric engine registers every named allocation a rank makes
+(measurements, extended tile, accumulation buffer, workspace); the tracker
+reports current and peak bytes per rank.  The analytic memory model in
+:mod:`repro.perfmodel` is cross-validated against these measured numbers in
+the test suite, which is what lets us trust it at the paper's full scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["MemoryTracker"]
+
+
+@dataclass
+class _RankLedger:
+    allocations: Dict[str, int] = field(default_factory=dict)
+    current: int = 0
+    peak: int = 0
+
+
+class MemoryTracker:
+    """Tracks named allocations per rank (bytes)."""
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        self._ledgers = [_RankLedger() for _ in range(n_ranks)]
+
+    # ------------------------------------------------------------------
+    def allocate(self, rank: int, name: str, nbytes: int) -> None:
+        """Record an allocation of ``nbytes`` labelled ``name``.
+
+        Re-allocating an existing name replaces it (like reassigning an
+        attribute holding an array).
+        """
+        ledger = self._ledger(rank)
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        old = ledger.allocations.get(name, 0)
+        ledger.allocations[name] = nbytes
+        ledger.current += nbytes - old
+        ledger.peak = max(ledger.peak, ledger.current)
+
+    def allocate_array(self, rank: int, name: str, array: np.ndarray) -> None:
+        """Convenience: record the byte size of an ndarray."""
+        self.allocate(rank, name, int(array.nbytes))
+
+    def free(self, rank: int, name: str) -> None:
+        """Release a named allocation."""
+        ledger = self._ledger(rank)
+        nbytes = ledger.allocations.pop(name, None)
+        if nbytes is None:
+            raise KeyError(f"rank {rank} has no allocation named {name!r}")
+        ledger.current -= nbytes
+
+    # ------------------------------------------------------------------
+    def current_bytes(self, rank: int) -> int:
+        """Currently allocated bytes on ``rank``."""
+        return self._ledger(rank).current
+
+    def peak_bytes(self, rank: int) -> int:
+        """Peak allocated bytes on ``rank``."""
+        return self._ledger(rank).peak
+
+    def peak_bytes_max(self) -> int:
+        """Largest per-rank peak — the number that must fit on one GPU."""
+        return max(l.peak for l in self._ledgers)
+
+    def peak_bytes_mean(self) -> float:
+        """Average per-rank peak (the paper's Tables II/III report average
+        peak memory footprint per GPU)."""
+        return float(np.mean([l.peak for l in self._ledgers]))
+
+    def breakdown(self, rank: int) -> Dict[str, int]:
+        """Named allocation sizes for ``rank`` (copy)."""
+        return dict(self._ledger(rank).allocations)
+
+    def per_rank_peaks(self) -> List[int]:
+        """Peak bytes for every rank."""
+        return [l.peak for l in self._ledgers]
+
+    def _ledger(self, rank: int) -> _RankLedger:
+        if not (0 <= rank < len(self._ledgers)):
+            raise ValueError(f"rank {rank} out of range")
+        return self._ledgers[rank]

@@ -1,0 +1,101 @@
+"""Interconnect model.
+
+Summit's relevant numbers (paper Sec. VI-A): NVLink at 50 GB/s one-way
+between GPUs sharing a node, EDR InfiniBand at 100 Gbit/s (=12.5 GB/s) in a
+non-blocking fat tree between nodes.  A message of ``b`` bytes over a link
+costs ``latency + b / bandwidth`` (the alpha-beta model); all-reduce uses
+the standard ring formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parallel.topology import ClusterTopology
+
+__all__ = ["LinkSpec", "NetworkModel"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One class of link in the alpha-beta cost model."""
+
+    latency_s: float
+    bandwidth_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def transfer_time(self, n_bytes: float) -> float:
+        """Time to move ``n_bytes`` over this link."""
+        if n_bytes < 0:
+            raise ValueError("message size must be non-negative")
+        return self.latency_s + n_bytes / self.bandwidth_bytes_per_s
+
+
+#: NVLink gen2: 50 GB/s one-way, ~2 microseconds software latency.
+NVLINK = LinkSpec(latency_s=2e-6, bandwidth_bytes_per_s=50e9)
+
+#: EDR InfiniBand through MPI: 12.5 GB/s, ~5 microseconds.
+INFINIBAND = LinkSpec(latency_s=5e-6, bandwidth_bytes_per_s=12.5e9)
+
+
+class NetworkModel:
+    """Maps (src, dst, bytes) to a transfer time using the topology.
+
+    Parameters
+    ----------
+    topology:
+        Rank-to-node mapping.
+    intra_node / inter_node:
+        Link classes; defaults model Summit.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        intra_node: LinkSpec = NVLINK,
+        inter_node: LinkSpec = INFINIBAND,
+        collective: LinkSpec | None = None,
+    ) -> None:
+        self.topology = topology
+        self.intra_node = intra_node
+        self.inter_node = inter_node
+        #: Effective per-step link for collective operations; large
+        #: all-reduces sustain far less than point-to-point line rate
+        #: (chunking, algorithm switching, cross-node reduction trees).
+        self.collective = collective
+
+    def link(self, src: int, dst: int) -> LinkSpec:
+        """The link class connecting two ranks."""
+        if src == dst:
+            raise ValueError("no self-links: src == dst")
+        if self.topology.same_node(src, dst):
+            return self.intra_node
+        return self.inter_node
+
+    def p2p_time(self, src: int, dst: int, n_bytes: float) -> float:
+        """Point-to-point message time (alpha-beta model)."""
+        return self.link(src, dst).transfer_time(n_bytes)
+
+    def allreduce_time(self, n_ranks: int, n_bytes: float) -> float:
+        """Ring all-reduce across ``n_ranks`` of a ``n_bytes`` buffer.
+
+        ``2*(P-1)`` steps, each moving ``n_bytes/P`` over the slowest link
+        class in use.  For multi-node jobs that is InfiniBand — exactly why
+        the paper rejects all-reduce for gradient synchronization (Sec. V).
+        """
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        if n_ranks == 1:
+            return 0.0
+        if self.collective is not None:
+            link = self.collective
+        else:
+            multi_node = self.topology.n_nodes > 1
+            link = self.inter_node if multi_node else self.intra_node
+        steps = 2 * (n_ranks - 1)
+        return steps * link.transfer_time(n_bytes / n_ranks)

@@ -1,0 +1,132 @@
+"""Cluster and mesh topology.
+
+The paper runs on Summit: 6 V100 GPUs per node, nodes on a fat-tree EDR
+InfiniBand.  Ranks (one per GPU) are laid out on a logical 2-D mesh that
+matches the tile grid of the decomposition; rank *i* lives on node
+``i // gpus_per_node``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["ClusterTopology", "MeshLayout", "choose_mesh"]
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """Physical cluster description."""
+
+    n_ranks: int
+    gpus_per_node: int = 6
+
+    def __post_init__(self) -> None:
+        if self.n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        if self.gpus_per_node <= 0:
+            raise ValueError("gpus_per_node must be positive")
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes, rounding up a partial node."""
+        return -(-self.n_ranks // self.gpus_per_node)
+
+    def node_of(self, rank: int) -> int:
+        """Node hosting ``rank``."""
+        self._check_rank(rank)
+        return rank // self.gpus_per_node
+
+    def same_node(self, a: int, b: int) -> bool:
+        """True when both ranks share a node (NVLink reachable)."""
+        return self.node_of(a) == self.node_of(b)
+
+    def ranks_on_node(self, node: int) -> List[int]:
+        """All ranks hosted on ``node``."""
+        lo = node * self.gpus_per_node
+        hi = min(lo + self.gpus_per_node, self.n_ranks)
+        if lo >= self.n_ranks:
+            raise ValueError(f"node {node} beyond cluster size")
+        return list(range(lo, hi))
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.n_ranks):
+            raise ValueError(f"rank {rank} out of range [0,{self.n_ranks})")
+
+
+def choose_mesh(n_ranks: int, aspect: float = 1.0) -> Tuple[int, int]:
+    """Pick mesh dimensions ``(rows, cols)`` with ``rows*cols == n_ranks``
+    whose aspect ratio ``rows/cols`` is closest to ``aspect``.
+
+    The paper's GPU counts are chosen to factor nicely (e.g. 4158 = 63*66,
+    exactly one tile per small-dataset probe); for prime-ish counts this
+    degrades gracefully to a 1 x N strip.
+    """
+    if n_ranks <= 0:
+        raise ValueError("n_ranks must be positive")
+    if aspect <= 0:
+        raise ValueError("aspect must be positive")
+    best: Tuple[int, int] = (1, n_ranks)
+    best_err = abs(math.log(1.0 / n_ranks) - math.log(aspect))
+    for rows in range(1, int(math.isqrt(n_ranks)) + 1):
+        if n_ranks % rows:
+            continue
+        cols = n_ranks // rows
+        for cand in ((rows, cols), (cols, rows)):
+            err = abs(math.log(cand[0] / cand[1]) - math.log(aspect))
+            if err < best_err:
+                best, best_err = cand, err
+    return best
+
+
+@dataclass(frozen=True)
+class MeshLayout:
+    """Logical 2-D mesh of ranks: rank = ``row * cols + col`` (row-major),
+    mirroring the 3x3 example mesh of the paper's Fig. 5."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("mesh dims must be positive")
+
+    @property
+    def n_ranks(self) -> int:
+        """Total ranks on the mesh."""
+        return self.rows * self.cols
+
+    def rank_of(self, row: int, col: int) -> int:
+        """Rank at mesh coordinate ``(row, col)``."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"mesh coordinate ({row},{col}) out of range")
+        return row * self.cols + col
+
+    def coords_of(self, rank: int) -> Tuple[int, int]:
+        """Mesh coordinate of ``rank``."""
+        if not (0 <= rank < self.n_ranks):
+            raise ValueError(f"rank {rank} out of range")
+        return divmod(rank, self.cols)
+
+    def column_ranks(self, col: int) -> List[int]:
+        """Ranks of one mesh column, top to bottom (a vertical-pass chain)."""
+        return [self.rank_of(r, col) for r in range(self.rows)]
+
+    def row_ranks(self, row: int) -> List[int]:
+        """Ranks of one mesh row, left to right (a horizontal-pass chain)."""
+        return [self.rank_of(row, c) for c in range(self.cols)]
+
+    def neighbors8(self, rank: int) -> List[int]:
+        """The up-to-8 direct mesh neighbours (including diagonals, which
+        matter for corner overlaps, paper Fig. 3(b))."""
+        row, col = self.coords_of(rank)
+        out = []
+        for dr in (-1, 0, 1):
+            for dc in (-1, 0, 1):
+                if dr == 0 and dc == 0:
+                    continue
+                r, c = row + dr, col + dc
+                if 0 <= r < self.rows and 0 <= c < self.cols:
+                    out.append(self.rank_of(r, c))
+        return out

@@ -1,0 +1,115 @@
+"""Machine description and calibration constants.
+
+The defaults model the paper's platform (Summit: 6x V100 per node, NVLink
+intra-node, EDR InfiniBand inter-node) *as driven by the paper's software
+stack* — an eager-mode Python/PyTorch multislice code with MPI.  Effective
+throughputs of such stacks sit far below hardware peaks, so two calibrated
+constants anchor the model to the paper's measurements:
+
+* ``effective_flops`` — sustained flop rate of one multislice
+  cost+gradient evaluation (calibrated to Table III's 6-GPU runtime:
+  ~0.23 s per 1024^2 x 100-slice probe evaluation).
+* link bandwidths — NVLink/InfiniBand line rates (contiguous staged
+  buffers; the paper's pipelines stage regions before sending).
+
+The **memory-pressure factor** reproduces the paper's super-linear strong
+scaling (Sec. VI-C: L1 hit rate and memory throughput improve as per-GPU
+working sets shrink; allocator pressure near the 16 GB limit compounds
+it).  It multiplies compute time by ``1 + B * sigmoid((occupancy - theta)
+/ width)`` where occupancy = working set / GPU memory; the constants are
+fitted to the per-probe times implied by Tables II(a)/III(a) at 6 GPUs
+vs. 4158 GPUs.
+
+Per-rank **speed jitter** (+-20%, deterministic per rank) models the
+real-world rank-speed heterogeneity responsible for the GPU waiting times
+of Fig. 7b; waiting then shrinks proportionally with per-rank work, which
+is the figure's observed trend.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.parallel.network import LinkSpec
+
+__all__ = ["MachineSpec", "SUMMIT"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Calibrated machine + software-stack model."""
+
+    name: str = "summit-v100"
+    gpus_per_node: int = 6
+    gpu_memory_bytes: float = 16e9
+    #: Sustained flop rate of the multislice kernels (calibrated).
+    effective_flops: float = 2.2e11
+    #: Fixed per-probe software overhead (kernel launches, bookkeeping).
+    probe_overhead_s: float = 2e-3
+    #: Device memory bandwidth for pointwise buffer ops.
+    memory_bandwidth: float = 600e9
+    #: MPI point-to-point bandwidth, intra-node (NVLink, 50 GB/s one-way).
+    intra_node_bw: float = 50e9
+    intra_node_latency_s: float = 2e-6
+    #: Same, inter-node (EDR InfiniBand, 12.5 GB/s).
+    inter_node_bw: float = 12.5e9
+    inter_node_latency_s: float = 5e-6
+    #: Effective collective (all-reduce) bandwidth per ring step; large
+    #: multi-GB all-reduces in the paper's stack sustain well below line
+    #: rate (calibrated so the non-APPP mode is communication-dominated
+    #: at 462 GPUs, as Fig. 7b reports).
+    collective_bw: float = 1.0e9
+    collective_latency_s: float = 5e-6
+    #: Memory-pressure factor parameters (see module docstring).
+    pressure_amplitude: float = 4.4
+    pressure_threshold: float = 0.35
+    pressure_width: float = 0.08
+    #: Deterministic per-rank speed spread (fraction, +-).
+    speed_jitter: float = 0.18
+    #: Fixed framework overhead resident on every GPU (context, plans).
+    fixed_overhead_bytes: float = 60e6
+    #: FFT workspace: this many detector-sized complex128 buffers.
+    workspace_buffers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.effective_flops <= 0 or self.memory_bandwidth <= 0:
+            raise ValueError("throughputs must be positive")
+        if self.gpu_memory_bytes <= 0:
+            raise ValueError("gpu_memory_bytes must be positive")
+        if not (0.0 <= self.speed_jitter < 1.0):
+            raise ValueError("speed_jitter must be in [0, 1)")
+
+    # ------------------------------------------------------------------
+    def intra_link(self) -> LinkSpec:
+        """Intra-node link (effective NVLink)."""
+        return LinkSpec(self.intra_node_latency_s, self.intra_node_bw)
+
+    def inter_link(self) -> LinkSpec:
+        """Inter-node link (effective InfiniBand)."""
+        return LinkSpec(self.inter_node_latency_s, self.inter_node_bw)
+
+    def collective_link(self) -> LinkSpec:
+        """Effective all-reduce link (see ``collective_bw``)."""
+        return LinkSpec(self.collective_latency_s, self.collective_bw)
+
+    def pressure_factor(self, working_set_bytes: float) -> float:
+        """Compute-time multiplier from memory/cache pressure."""
+        if working_set_bytes < 0:
+            raise ValueError("working set must be non-negative")
+        occ = working_set_bytes / self.gpu_memory_bytes
+        z = (occ - self.pressure_threshold) / self.pressure_width
+        return 1.0 + self.pressure_amplitude / (1.0 + math.exp(-z))
+
+    def speed_factor(self, rank: int) -> float:
+        """Deterministic per-rank relative speed in
+        ``[1 - jitter, 1 + jitter]`` (splitmix-style hash)."""
+        x = (rank + 1) * 0x9E3779B97F4A7C15
+        x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+        x = (x ^ (x >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+        u = ((x ^ (x >> 31)) & 0xFFFFFFFF) / 0xFFFFFFFF
+        return 1.0 + self.speed_jitter * (2.0 * u - 1.0)
+
+
+#: The paper's platform with calibrated software-stack constants.
+SUMMIT = MachineSpec()

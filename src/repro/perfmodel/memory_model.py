@@ -1,0 +1,144 @@
+"""Analytic per-rank memory model.
+
+Accounts the allocations a rank holds, mirroring what the numeric engine
+actually allocates (the test suite cross-validates the two):
+
+=================  =====================================================
+component          bytes
+=================  =====================================================
+measurements       ``n_probes(rank) * det^2 * meas_itemsize``
+volume (ext tile)  ``ext.area * n_slices * volume_itemsize``
+gradient buffer    same as volume (Gradient Decomposition only)
+probe              ``det^2 * volume_itemsize``
+workspace          ``workspace_buffers * det^2 * 16`` (FFT scratch)
+fixed overhead     framework/context constant
+=================  =====================================================
+
+Full-size defaults (float16 measurements, complex64 volume) follow the
+paper's implementation constraints: the large dataset at 6 GPUs must fit
+measurements + tile + buffer in ~9 GB (Table III), which float32
+measurements would not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.decomposition import Decomposition
+from repro.perfmodel.machine import MachineSpec, SUMMIT
+from repro.physics.dataset import DatasetSpec
+
+__all__ = ["MemoryBreakdown", "MemoryModel"]
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Per-rank byte breakdown."""
+
+    measurements: float
+    volume: float
+    gradient_buffer: float
+    probe: float
+    workspace: float
+    fixed: float
+
+    @property
+    def total(self) -> float:
+        """Sum of all components."""
+        return (
+            self.measurements
+            + self.volume
+            + self.gradient_buffer
+            + self.probe
+            + self.workspace
+            + self.fixed
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Component dictionary (reports/tests)."""
+        return {
+            "measurements": self.measurements,
+            "volume": self.volume,
+            "gradient_buffer": self.gradient_buffer,
+            "probe": self.probe,
+            "workspace": self.workspace,
+            "fixed": self.fixed,
+        }
+
+
+class MemoryModel:
+    """Evaluates :class:`MemoryBreakdown` over a decomposition.
+
+    Parameters
+    ----------
+    spec:
+        Dataset description (detector size, slices, measurement dtype).
+    machine:
+        Supplies workspace/fixed-overhead constants.
+    measurement_itemsize / volume_itemsize:
+        Override storage precision (the numeric engine runs complex128
+        for accuracy; the full-scale model uses the paper's complex64 +
+        float16 — tests pass engine-matching itemsizes).
+    include_fixed:
+        Disable to model *algorithmic* memory only (used when comparing
+        against the numeric engine, which has no framework overhead).
+    """
+
+    def __init__(
+        self,
+        spec: DatasetSpec,
+        machine: MachineSpec = SUMMIT,
+        measurement_itemsize: int | None = None,
+        volume_itemsize: int = 8,
+        include_fixed: bool = True,
+        needs_gradient_buffer: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.machine = machine
+        self.meas_itemsize = (
+            measurement_itemsize
+            if measurement_itemsize is not None
+            else np.dtype(spec.measurement_dtype).itemsize
+        )
+        self.volume_itemsize = volume_itemsize
+        self.include_fixed = include_fixed
+        self.needs_gradient_buffer = needs_gradient_buffer
+
+    # ------------------------------------------------------------------
+    def rank_breakdown(self, decomp: Decomposition, rank: int) -> MemoryBreakdown:
+        """Bytes held by one rank under ``decomp``."""
+        tile = decomp.tile(rank)
+        det2 = self.spec.detector_px**2
+        slices = self.spec.n_slices
+        volume = tile.ext.area * slices * self.volume_itemsize
+        return MemoryBreakdown(
+            measurements=len(tile.all_probes) * det2 * self.meas_itemsize,
+            volume=volume,
+            gradient_buffer=volume if self.needs_gradient_buffer else 0.0,
+            probe=det2 * self.volume_itemsize,
+            workspace=self.machine.workspace_buffers * det2 * 16.0,
+            fixed=self.machine.fixed_overhead_bytes if self.include_fixed else 0.0,
+        )
+
+    def per_rank_totals(self, decomp: Decomposition) -> List[float]:
+        """Total bytes for every rank."""
+        return [
+            self.rank_breakdown(decomp, r).total for r in range(decomp.n_ranks)
+        ]
+
+    def mean_bytes(self, decomp: Decomposition) -> float:
+        """Average per-rank bytes — the paper's Tables II/III metric."""
+        return float(np.mean(self.per_rank_totals(decomp)))
+
+    def max_bytes(self, decomp: Decomposition) -> float:
+        """Worst rank (must fit the GPU)."""
+        return float(np.max(self.per_rank_totals(decomp)))
+
+    def working_set_bytes(self, decomp: Decomposition, rank: int) -> float:
+        """Bytes the compute kernels actively touch (drives the
+        memory-pressure factor): everything except the fixed overhead."""
+        b = self.rank_breakdown(decomp, rank)
+        return b.total - b.fixed

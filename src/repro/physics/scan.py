@@ -1,0 +1,156 @@
+"""Raster scan patterns.
+
+The probe visits a ``rows x cols`` grid of positions in raster order
+(paper Fig. 1(b)); the step size is derived from the probe radius and the
+requested overlap ratio.  Ptychography needs >70% overlap between
+neighbouring probe circles for artifact-free reconstruction (paper Sec.
+II-A), and the *high*-overlap regime (>80%), where circles overlap
+non-adjacent neighbours, is what motivates the forward/backward gradient
+passes of Sec. IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.utils.geometry import Rect
+
+__all__ = ["ScanSpec", "RasterScan", "probe_window"]
+
+
+@dataclass(frozen=True)
+class ScanSpec:
+    """Scan geometry description.
+
+    Attributes
+    ----------
+    grid:
+        ``(n_rows, n_cols)`` of probe positions; the paper's small dataset
+        is 63x66 = 4158 positions, the large one 126x132 = 16632.
+    step_px:
+        Raster step in object pixels.
+    margin_px:
+        Distance from the field-of-view edge to the first probe *window*
+        corner, so every probe window stays inside the object.
+    """
+
+    grid: Tuple[int, int]
+    step_px: float
+    margin_px: int = 0
+
+    def __post_init__(self) -> None:
+        if self.grid[0] <= 0 or self.grid[1] <= 0:
+            raise ValueError(f"scan grid must be positive, got {self.grid}")
+        if self.step_px <= 0:
+            raise ValueError("step_px must be positive")
+        if self.margin_px < 0:
+            raise ValueError("margin_px must be non-negative")
+
+    @property
+    def n_positions(self) -> int:
+        """Total number of probe locations."""
+        return self.grid[0] * self.grid[1]
+
+    @staticmethod
+    def from_overlap(
+        grid: Tuple[int, int],
+        probe_radius_px: float,
+        overlap_ratio: float,
+        margin_px: int = 0,
+    ) -> "ScanSpec":
+        """Derive the raster step from a target circle-overlap ratio.
+
+        ``overlap_ratio`` is the linear overlap fraction of neighbouring
+        probe circles: ``step = (1 - overlap) * 2 * R``.  At 70% overlap a
+        circle overlaps its direct neighbours only; at >=80% it also reaches
+        the second neighbours (the paper's "high overlap" regime).
+        """
+        if not (0.0 <= overlap_ratio < 1.0):
+            raise ValueError(f"overlap_ratio must be in [0,1), got {overlap_ratio}")
+        step = (1.0 - overlap_ratio) * 2.0 * probe_radius_px
+        if step < 1.0:
+            step = 1.0
+        return ScanSpec(grid=grid, step_px=step, margin_px=margin_px)
+
+
+def probe_window(
+    center_row: float, center_col: float, window: int
+) -> Rect:
+    """Integer pixel window of a probe patch centred at a scan position.
+
+    The window is the ``window x window`` region the probe array multiplies;
+    outside it the individual gradient is exactly zero — the locality
+    property (paper Sec. III) the whole decomposition rests on.
+    """
+    r0 = int(round(center_row - window / 2.0))
+    c0 = int(round(center_col - window / 2.0))
+    return Rect(r0, r0 + window, c0, c0 + window)
+
+
+class RasterScan:
+    """Concrete raster scan: positions, windows, and geometry queries."""
+
+    def __init__(self, spec: ScanSpec, probe_window_px: int) -> None:
+        self.spec = spec
+        self.window = int(probe_window_px)
+        n_r, n_c = spec.grid
+        offset = spec.margin_px + self.window / 2.0
+        rows = offset + spec.step_px * np.arange(n_r)
+        cols = offset + spec.step_px * np.arange(n_c)
+        # Raster order: row-major, matching the paper's time ordering.
+        self._centers = np.stack(
+            [
+                np.repeat(rows, n_c),
+                np.tile(cols, n_r),
+            ],
+            axis=1,
+        )
+        self._windows: List[Rect] = [
+            probe_window(r, c, self.window) for r, c in self._centers
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_positions(self) -> int:
+        """Number of probe locations."""
+        return len(self._windows)
+
+    @property
+    def centers(self) -> np.ndarray:
+        """``(N, 2)`` array of (row, col) scan centres in pixels."""
+        return self._centers
+
+    @property
+    def windows(self) -> List[Rect]:
+        """Probe windows in raster (time) order."""
+        return list(self._windows)
+
+    def window_of(self, index: int) -> Rect:
+        """Probe window of scan position ``index``."""
+        return self._windows[index]
+
+    def grid_index(self, index: int) -> Tuple[int, int]:
+        """``(scan_row, scan_col)`` of flat position ``index``."""
+        n_c = self.spec.grid[1]
+        return divmod(index, n_c)[0], index % n_c
+
+    def required_fov(self) -> Tuple[int, int]:
+        """Minimal object field of view containing every probe window."""
+        r1 = max(w.r1 for w in self._windows) + self.spec.margin_px
+        c1 = max(w.c1 for w in self._windows) + self.spec.margin_px
+        return (int(r1), int(c1))
+
+    def overlap_ratio(self) -> float:
+        """Linear overlap of neighbouring probe *windows* (diagnostic)."""
+        if self.n_positions < 2:
+            return 0.0
+        return max(0.0, 1.0 - self.spec.step_px / self.window)
+
+    def __iter__(self) -> Iterator[Rect]:
+        return iter(self._windows)
+
+    def __len__(self) -> int:
+        return self.n_positions

@@ -1,0 +1,44 @@
+"""Schedule intermediate representation.
+
+A reconstruction iteration compiles to a list of :class:`~repro.schedule.ops.Op`
+nodes with explicit dependencies — one program, two interpreters:
+
+* the **numeric engine** (:mod:`repro.core.engine`) runs the ops on real
+  NumPy arrays and produces actual reconstructions;
+* the **event simulator** (:mod:`repro.parallel.event_sim`) runs the same
+  ops under a machine model and produces the timing/Fig. 7b breakdowns.
+
+Keeping a single source of truth for the communication pattern is what
+makes the timing results faithful to the algorithm that was actually
+validated numerically.
+"""
+
+from repro.schedule.ops import (
+    AllReduceGradient,
+    ApplyBufferUpdate,
+    ApplyProbeUpdate,
+    Barrier,
+    BufferExchange,
+    ComputeGradients,
+    LocalSolve,
+    Op,
+    ProbeSync,
+    ResetBuffer,
+    Schedule,
+    VoxelPaste,
+)
+
+__all__ = [
+    "Op",
+    "Schedule",
+    "ComputeGradients",
+    "BufferExchange",
+    "AllReduceGradient",
+    "ApplyBufferUpdate",
+    "ResetBuffer",
+    "LocalSolve",
+    "VoxelPaste",
+    "Barrier",
+    "ProbeSync",
+    "ApplyProbeUpdate",
+]

@@ -1,0 +1,274 @@
+"""Operation types of the schedule IR.
+
+Each op carries:
+
+* ``uid`` — unique integer id within its :class:`Schedule`;
+* ``deps`` — uids of ops that must complete first (data dependencies);
+* the rank(s) it runs on and its payload description.
+
+Dependencies express *data-flow*, not rank program order; per-rank program
+order (which models an SPMD MPI program where each rank executes its ops in
+sequence) is the order ops appear in the schedule filtered by rank.  The
+timing interpreter uses both: a rank cannot start its next op before
+finishing the previous one (program order) nor before its dependencies'
+results have arrived (data flow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.utils.geometry import Rect
+
+__all__ = [
+    "Op",
+    "ComputeGradients",
+    "BufferExchange",
+    "AllReduceGradient",
+    "ApplyBufferUpdate",
+    "ResetBuffer",
+    "LocalSolve",
+    "VoxelPaste",
+    "Barrier",
+    "ProbeSync",
+    "ApplyProbeUpdate",
+    "Schedule",
+]
+
+
+@dataclass
+class Op:
+    """Base class for schedule operations."""
+
+    uid: int = field(init=False, default=-1)
+    deps: List[int] = field(init=False, default_factory=list)
+
+    def ranks(self) -> Tuple[int, ...]:
+        """Ranks that execute (part of) this op."""
+        raise NotImplementedError
+
+
+@dataclass
+class ComputeGradients(Op):
+    """Rank ``rank`` evaluates individual gradients for a run of its local
+    probe indices, accumulating them into its gradient buffer.
+
+    ``local_update`` selects Algorithm 1 semantics: after each probe the
+    tile is immediately updated with the *local* gradient (line 8) in
+    addition to the buffer accumulation (line 7).  Synchronous mode sets it
+    False, leaving all updating to :class:`ApplyBufferUpdate`.
+    """
+
+    rank: int
+    probe_indices: Tuple[int, ...]
+    local_update: bool = True
+
+    def ranks(self) -> Tuple[int, ...]:
+        return (self.rank,)
+
+
+@dataclass
+class BufferExchange(Op):
+    """Point-to-point gradient-buffer exchange over an overlap region.
+
+    ``mode='add'`` implements a forward-pass step (dst buffer += src buffer
+    over ``region``); ``mode='replace'`` implements a backward-pass step
+    (dst buffer  = src buffer over ``region``).  ``region`` is in global
+    image coordinates and must lie inside both ranks' extended tiles.
+    """
+
+    src: int
+    dst: int
+    region: Rect
+    mode: str = "add"
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("add", "replace"):
+            raise ValueError(f"unknown exchange mode {self.mode!r}")
+
+    def ranks(self) -> Tuple[int, ...]:
+        return (self.src, self.dst)
+
+    @property
+    def message_voxels(self) -> int:
+        """Pixels per slice transferred (multiply by slices x itemsize for
+        bytes; the engines know the volume depth)."""
+        return self.region.area
+
+
+@dataclass
+class AllReduceGradient(Op):
+    """Global sum of all gradient buffers (the non-APPP alternative the
+    paper argues against, Sec. V).  Numerically equivalent to a complete
+    set of forward/backward passes; the event simulator charges it the
+    full-volume ring-allreduce cost."""
+
+    n_ranks: int
+
+    def ranks(self) -> Tuple[int, ...]:
+        return tuple(range(self.n_ranks))
+
+
+@dataclass
+class ApplyBufferUpdate(Op):
+    """Rank updates its tile from its (accumulated) gradient buffer:
+    ``V_k <- V_k - lr * AccBuf_k`` (Alg. 1 lines 14-15)."""
+
+    rank: int
+    lr: float
+
+    def ranks(self) -> Tuple[int, ...]:
+        return (self.rank,)
+
+
+@dataclass
+class ResetBuffer(Op):
+    """Zero the rank's accumulation buffer (Alg. 1 line 16)."""
+
+    rank: int
+
+    def ranks(self) -> Tuple[int, ...]:
+        return (self.rank,)
+
+
+@dataclass
+class LocalSolve(Op):
+    """Halo-Voxel-Exchange local phase: the rank sweeps its assigned probe
+    locations (own + extra neighbours) doing SGD updates on its extended
+    tile, with no communication (paper Sec. II-C)."""
+
+    rank: int
+    probe_indices: Tuple[int, ...]
+    lr: float
+
+    def ranks(self) -> Tuple[int, ...]:
+        return (self.rank,)
+
+
+@dataclass
+class VoxelPaste(Op):
+    """Halo-Voxel-Exchange synchronization: ``src``'s *core* voxels in
+    ``region`` are copy-pasted into ``dst``'s halo (synchronous
+    point-to-point, the operation that causes seam artifacts)."""
+
+    src: int
+    dst: int
+    region: Rect
+    tag: int = 0
+
+    def ranks(self) -> Tuple[int, ...]:
+        return (self.src, self.dst)
+
+
+@dataclass
+class Barrier(Op):
+    """Global synchronization point across all ranks (used by the
+    non-pipelined planners)."""
+
+    n_ranks: int
+
+    def ranks(self) -> Tuple[int, ...]:
+        return tuple(range(self.n_ranks))
+
+
+@dataclass
+class ProbeSync(Op):
+    """All-reduce of the per-rank probe gradients (probe refinement).
+
+    The probe is a *global* quantity (one detector-sized array), so —
+    unlike the image gradient — an all-reduce is the natural and cheap
+    synchronization for it.  Extension beyond the paper."""
+
+    n_ranks: int
+
+    def ranks(self) -> Tuple[int, ...]:
+        return tuple(range(self.n_ranks))
+
+
+@dataclass
+class ApplyProbeUpdate(Op):
+    """Rank updates its probe copy from the synchronized probe gradient
+    (``p <- p - lr * grad``) and clears the gradient."""
+
+    rank: int
+    lr: float
+
+    def ranks(self) -> Tuple[int, ...]:
+        return (self.rank,)
+
+
+class Schedule:
+    """An ordered list of ops forming a DAG.
+
+    Ops are appended in a valid topological order by construction (builders
+    only depend on already-appended ops), so the numeric engine can simply
+    execute front to back.  :meth:`validate` checks the invariant.
+    """
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        self.n_ranks = n_ranks
+        self._ops: List[Op] = []
+
+    # ------------------------------------------------------------------
+    def add(self, op: Op, deps: Sequence[int] = ()) -> int:
+        """Append ``op`` with dependencies ``deps``; returns its uid."""
+        for d in deps:
+            if not (0 <= d < len(self._ops)):
+                raise ValueError(f"dependency uid {d} not yet in schedule")
+        for r in op.ranks():
+            if not (0 <= r < self.n_ranks):
+                raise ValueError(f"op rank {r} out of range [0,{self.n_ranks})")
+        op.uid = len(self._ops)
+        op.deps = list(deps)
+        self._ops.append(op)
+        return op.uid
+
+    @property
+    def ops(self) -> List[Op]:
+        """All ops in topological order."""
+        return list(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[Op]:
+        return iter(self._ops)
+
+    def __getitem__(self, uid: int) -> Op:
+        return self._ops[uid]
+
+    # ------------------------------------------------------------------
+    def rank_program(self, rank: int) -> List[Op]:
+        """The SPMD program of one rank: its ops in schedule order."""
+        return [op for op in self._ops if rank in op.ranks()]
+
+    def validate(self) -> None:
+        """Check the topological invariant (deps precede dependents)."""
+        for op in self._ops:
+            for d in op.deps:
+                if d >= op.uid:
+                    raise ValueError(
+                        f"op {op.uid} depends on later op {d}: not topological"
+                    )
+
+    def counts(self) -> Dict[str, int]:
+        """Histogram of op types (diagnostics / tests)."""
+        out: Dict[str, int] = {}
+        for op in self._ops:
+            name = type(op).__name__
+            out[name] = out.get(name, 0) + 1
+        return out
+
+    def message_stats(self, bytes_per_pixel: float) -> Tuple[int, float]:
+        """``(n_messages, total_bytes)`` of all point-to-point exchanges."""
+        n = 0
+        total = 0.0
+        for op in self._ops:
+            if isinstance(op, (BufferExchange, VoxelPaste)):
+                n += 1
+                total += op.region.area * bytes_per_pixel
+        return n, total

@@ -1,0 +1,27 @@
+"""Shared low-level utilities: rectangle geometry, FFT helpers, validation.
+
+These are the primitives everything else is built on.  ``Rect`` in
+particular is the lingua franca of the decomposition code: tiles, halos,
+probe windows and overlap regions are all axis-aligned rectangles in global
+image coordinates.
+"""
+
+from repro.utils.geometry import Rect, intervals_overlap, union_rects
+from repro.utils.fftutils import fft2c, ifft2c, fftfreq_grid
+from repro.utils.validation import (
+    check_positive_int,
+    check_probability,
+    check_shape2d,
+)
+
+__all__ = [
+    "Rect",
+    "intervals_overlap",
+    "union_rects",
+    "fft2c",
+    "ifft2c",
+    "fftfreq_grid",
+    "check_positive_int",
+    "check_probability",
+    "check_shape2d",
+]

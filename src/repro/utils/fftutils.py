@@ -1,0 +1,61 @@
+"""Centered, unitary FFT helpers.
+
+All transforms in the library use the ``norm="ortho"`` convention so the
+adjoint of the forward FFT is exactly the inverse FFT — the property the
+analytic multislice gradient relies on.  The ``fft2c``/``ifft2c`` pair keeps
+the zero-frequency component at the array center (detector convention).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["fft2c", "ifft2c", "fftfreq_grid"]
+
+
+def fft2c(field: np.ndarray) -> np.ndarray:
+    """Centered unitary 2-D FFT over the last two axes.
+
+    Input and output have the zero frequency / real-space origin at the
+    array center, matching how a detector image is displayed.
+    """
+    return np.fft.fftshift(
+        np.fft.fft2(np.fft.ifftshift(field, axes=(-2, -1)), norm="ortho"),
+        axes=(-2, -1),
+    )
+
+
+def ifft2c(field: np.ndarray) -> np.ndarray:
+    """Centered unitary 2-D inverse FFT over the last two axes (adjoint of
+    :func:`fft2c`)."""
+    return np.fft.fftshift(
+        np.fft.ifft2(np.fft.ifftshift(field, axes=(-2, -1)), norm="ortho"),
+        axes=(-2, -1),
+    )
+
+
+def fftfreq_grid(
+    shape: Tuple[int, int], pixel_size: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Spatial-frequency coordinate grids for a centered FFT.
+
+    Parameters
+    ----------
+    shape:
+        ``(rows, cols)`` of the field.
+    pixel_size:
+        Real-space sampling in the same length unit used elsewhere
+        (this library uses picometers throughout).
+
+    Returns
+    -------
+    (ky, kx):
+        2-D arrays (broadcast from 1-D) of spatial frequency in cycles per
+        length unit, fftshifted so frequency zero sits at the array center.
+    """
+    rows, cols = shape
+    ky = np.fft.fftshift(np.fft.fftfreq(rows, d=pixel_size))
+    kx = np.fft.fftshift(np.fft.fftfreq(cols, d=pixel_size))
+    return ky[:, None], kx[None, :]

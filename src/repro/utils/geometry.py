@@ -1,0 +1,187 @@
+"""Axis-aligned rectangle geometry in global image coordinates.
+
+Every spatial object in the decomposition — an image tile, its halo-extended
+region, a probe window, an overlap region between two extended tiles — is an
+axis-aligned rectangle.  The directional forward/backward gradient passes of
+the paper reduce to interval arithmetic on these rectangles, so this module
+is the geometric foundation of the whole library.
+
+Coordinate convention: ``(row, col)`` with half-open extents
+``[r0, r1) x [c0, c1)``, matching NumPy slicing.  All coordinates are
+integers (pixels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Tuple
+
+__all__ = ["Rect", "intervals_overlap", "union_rects"]
+
+
+def intervals_overlap(a0: int, a1: int, b0: int, b1: int) -> bool:
+    """Return True when half-open intervals ``[a0, a1)`` and ``[b0, b1)``
+    intersect in a region of positive length."""
+    return max(a0, b0) < min(a1, b1)
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """A half-open axis-aligned rectangle ``[r0, r1) x [c0, c1)``.
+
+    Immutable and hashable so rectangles can key dictionaries (e.g. mapping
+    an overlap region to a communication edge).
+    """
+
+    r0: int
+    r1: int
+    c0: int
+    c1: int
+
+    def __post_init__(self) -> None:
+        if self.r1 < self.r0 or self.c1 < self.c0:
+            raise ValueError(
+                f"degenerate Rect: rows [{self.r0},{self.r1}) "
+                f"cols [{self.c0},{self.c1})"
+            )
+
+    # ------------------------------------------------------------------
+    # Basic measures
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        """Number of rows covered."""
+        return self.r1 - self.r0
+
+    @property
+    def width(self) -> int:
+        """Number of columns covered."""
+        return self.c1 - self.c0
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(height, width)`` — convenient for allocating arrays."""
+        return (self.height, self.width)
+
+    @property
+    def area(self) -> int:
+        """Pixel count."""
+        return self.height * self.width
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the rectangle covers zero pixels."""
+        return self.height == 0 or self.width == 0
+
+    # ------------------------------------------------------------------
+    # Set operations
+    # ------------------------------------------------------------------
+    def intersect(self, other: "Rect") -> Optional["Rect"]:
+        """Intersection with ``other``; ``None`` when they do not overlap
+        in a region of positive area."""
+        r0 = max(self.r0, other.r0)
+        r1 = min(self.r1, other.r1)
+        c0 = max(self.c0, other.c0)
+        c1 = min(self.c1, other.c1)
+        if r0 >= r1 or c0 >= c1:
+            return None
+        return Rect(r0, r1, c0, c1)
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        """Smallest rectangle containing both ``self`` and ``other``."""
+        return Rect(
+            min(self.r0, other.r0),
+            max(self.r1, other.r1),
+            min(self.c0, other.c0),
+            max(self.c1, other.c1),
+        )
+
+    def contains(self, other: "Rect") -> bool:
+        """True when ``other`` lies fully inside ``self``."""
+        return (
+            self.r0 <= other.r0
+            and other.r1 <= self.r1
+            and self.c0 <= other.c0
+            and other.c1 <= self.c1
+        )
+
+    def contains_point(self, r: int, c: int) -> bool:
+        """True when pixel ``(r, c)`` lies inside ``self``."""
+        return self.r0 <= r < self.r1 and self.c0 <= c < self.c1
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True when the rectangles share a region of positive area."""
+        return intervals_overlap(
+            self.r0, self.r1, other.r0, other.r1
+        ) and intervals_overlap(self.c0, self.c1, other.c0, other.c1)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def expand(self, margin_rows: int, margin_cols: Optional[int] = None) -> "Rect":
+        """Grow by ``margin_rows`` rows on top/bottom and ``margin_cols``
+        columns left/right (defaults to ``margin_rows``)."""
+        if margin_cols is None:
+            margin_cols = margin_rows
+        return Rect(
+            self.r0 - margin_rows,
+            self.r1 + margin_rows,
+            self.c0 - margin_cols,
+            self.c1 + margin_cols,
+        )
+
+    def clip(self, bounds: "Rect") -> "Rect":
+        """Clamp to ``bounds``.  Unlike :meth:`intersect` this never returns
+        ``None``; a rectangle fully outside ``bounds`` collapses to an empty
+        rectangle on the boundary."""
+        r0 = min(max(self.r0, bounds.r0), bounds.r1)
+        r1 = min(max(self.r1, bounds.r0), bounds.r1)
+        c0 = min(max(self.c0, bounds.c0), bounds.c1)
+        c1 = min(max(self.c1, bounds.c0), bounds.c1)
+        return Rect(r0, max(r0, r1), c0, max(c0, c1))
+
+    def shift(self, dr: int, dc: int) -> "Rect":
+        """Translate by ``(dr, dc)``."""
+        return Rect(self.r0 + dr, self.r1 + dr, self.c0 + dc, self.c1 + dc)
+
+    # ------------------------------------------------------------------
+    # Array access
+    # ------------------------------------------------------------------
+    def slices_in(self, frame: "Rect") -> Tuple[slice, slice]:
+        """NumPy slices addressing this rectangle inside an array whose
+        element ``[0, 0]`` sits at global position ``(frame.r0, frame.c0)``.
+
+        Raises ``ValueError`` if ``self`` is not contained in ``frame`` —
+        catching off-by-one halo bugs early is worth the check.
+        """
+        if not frame.contains(self):
+            raise ValueError(f"{self} not contained in frame {frame}")
+        return (
+            slice(self.r0 - frame.r0, self.r1 - frame.r0),
+            slice(self.c0 - frame.c0, self.c1 - frame.c0),
+        )
+
+    def global_slices(self) -> Tuple[slice, slice]:
+        """Slices addressing this rectangle in a full-image array."""
+        return (slice(self.r0, self.r1), slice(self.c0, self.c1))
+
+    def iter_points(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over every pixel coordinate (row-major)."""
+        for r in range(self.r0, self.r1):
+            for c in range(self.c0, self.c1):
+                yield (r, c)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Rect(rows=[{self.r0},{self.r1}), cols=[{self.c0},{self.c1}))"
+
+
+def union_rects(rects: Iterable[Rect]) -> Rect:
+    """Bounding box of a non-empty collection of rectangles."""
+    it = iter(rects)
+    try:
+        acc = next(it)
+    except StopIteration:
+        raise ValueError("union_rects() requires at least one rectangle")
+    for r in it:
+        acc = acc.union_bbox(r)
+    return acc

@@ -1,0 +1,34 @@
+"""Small argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["check_positive_int", "check_probability", "check_shape2d"]
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in ``[0, 1]`` and return it as float."""
+    value = float(value)
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_shape2d(shape: Tuple[int, int], name: str) -> Tuple[int, int]:
+    """Validate a 2-tuple of positive ints and return it."""
+    if len(shape) != 2:
+        raise ValueError(f"{name} must have two entries, got {shape!r}")
+    rows, cols = shape
+    check_positive_int(int(rows), f"{name}[0]")
+    check_positive_int(int(cols), f"{name}[1]")
+    return (int(rows), int(cols))

@@ -1,0 +1,85 @@
+"""Serial reference reconstructor."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.serial import SerialReconstructor
+
+
+class TestBatch:
+    def test_cost_decreases(self, small_dataset, small_lr):
+        result = SerialReconstructor(
+            iterations=5, lr=small_lr, scheme="batch"
+        ).reconstruct(small_dataset)
+        assert result.history[-1] < result.history[0]
+        # Monotone for full-batch descent at a stable step size.
+        assert all(
+            b <= a * (1 + 1e-9)
+            for a, b in zip(result.history, result.history[1:])
+        )
+
+    def test_volume_shape(self, tiny_dataset, tiny_lr):
+        result = SerialReconstructor(iterations=1, lr=tiny_lr).reconstruct(
+            tiny_dataset
+        )
+        assert result.volume.shape == (
+            tiny_dataset.n_slices,
+            *tiny_dataset.object_shape,
+        )
+
+    def test_improves_towards_ground_truth_datafit(
+        self, small_dataset, small_lr
+    ):
+        recon = SerialReconstructor(iterations=8, lr=small_lr)
+        result = recon.reconstruct(small_dataset)
+        final = recon.evaluate_cost(small_dataset, result.volume)
+        initial = recon.evaluate_cost(
+            small_dataset, small_dataset.initial_object()
+        )
+        assert final < 0.2 * initial
+
+
+class TestSgd:
+    def test_cost_decreases(self, small_dataset, small_lr):
+        result = SerialReconstructor(
+            iterations=4, lr=small_lr * 0.5, scheme="sgd"
+        ).reconstruct(small_dataset)
+        assert result.history[-1] < result.history[0]
+
+    def test_sgd_differs_from_batch(self, tiny_dataset, tiny_lr):
+        batch = SerialReconstructor(
+            iterations=2, lr=tiny_lr * 0.5, scheme="batch"
+        ).reconstruct(tiny_dataset)
+        sgd = SerialReconstructor(
+            iterations=2, lr=tiny_lr * 0.5, scheme="sgd"
+        ).reconstruct(tiny_dataset)
+        assert not np.allclose(batch.volume, sgd.volume)
+
+
+class TestInterface:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SerialReconstructor(iterations=0)
+        with pytest.raises(ValueError):
+            SerialReconstructor(scheme="quantum")
+
+    def test_callback(self, tiny_dataset, tiny_lr):
+        seen = []
+        SerialReconstructor(iterations=2, lr=tiny_lr).reconstruct(
+            tiny_dataset, callback=lambda it, c, v: seen.append((it, c))
+        )
+        assert [s[0] for s in seen] == [0, 1]
+
+    def test_result_has_single_rank_decomposition(
+        self, tiny_dataset, tiny_lr
+    ):
+        result = SerialReconstructor(iterations=1, lr=tiny_lr).reconstruct(
+            tiny_dataset
+        )
+        assert result.decomposition.n_ranks == 1
+        assert result.messages == 0
+
+    def test_evaluate_cost_zero_at_truth(self, tiny_dataset):
+        recon = SerialReconstructor(iterations=1)
+        cost = recon.evaluate_cost(tiny_dataset, tiny_dataset.ground_truth)
+        assert cost < 1e-4  # float16 measurement storage rounding

@@ -1,0 +1,61 @@
+"""Shared fixtures: session-scoped scaled datasets.
+
+Dataset simulation costs a few hundred milliseconds; sharing them across
+the suite keeps hundreds of tests fast.  Tests never mutate datasets
+(reconstructors copy what they need), so session scope is safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.physics.dataset import (
+    scaled_pbtio3_spec,
+    simulate_dataset,
+    suggest_lr,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """3x3 probes, 16px detector, 2 slices — the smallest real acquisition."""
+    spec = scaled_pbtio3_spec(
+        scan_grid=(3, 3), detector_px=16, n_slices=2, overlap_ratio=0.7
+    )
+    return simulate_dataset(spec, seed=101)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """6x6 probes, 24px detector, 3 slices — the equivalence workhorse."""
+    spec = scaled_pbtio3_spec(
+        scan_grid=(6, 6), detector_px=24, n_slices=3, overlap_ratio=0.7
+    )
+    return simulate_dataset(spec, seed=202)
+
+
+@pytest.fixture(scope="session")
+def highoverlap_dataset():
+    """High circle-overlap acquisition (the paper's Sec. IV regime)."""
+    spec = scaled_pbtio3_spec(
+        scan_grid=(10, 10), detector_px=20, n_slices=2, circle_overlap=0.8
+    )
+    return simulate_dataset(spec, seed=303)
+
+
+@pytest.fixture(scope="session")
+def small_lr(small_dataset):
+    """A convergent step size for ``small_dataset``."""
+    return suggest_lr(small_dataset, alpha=0.4)
+
+
+@pytest.fixture(scope="session")
+def tiny_lr(tiny_dataset):
+    return suggest_lr(tiny_dataset, alpha=0.4)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

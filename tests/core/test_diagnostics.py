@@ -1,0 +1,114 @@
+"""Decomposition/schedule diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.halo_exchange import HaloExchangeReconstructor
+from repro.core.decomposition import decompose_gradient
+from repro.core.diagnostics import (
+    communication_matrix,
+    critical_path_length,
+    load_balance,
+)
+from repro.core.reconstructor import GradientDecompositionReconstructor
+from repro.parallel.topology import MeshLayout
+from repro.physics.scan import RasterScan, ScanSpec
+
+
+@pytest.fixture(scope="module")
+def setup():
+    scan = RasterScan(ScanSpec(grid=(6, 6), step_px=4.0), probe_window_px=12)
+    r, c = scan.required_fov()
+    decomp = decompose_gradient(scan, (r + 2, c + 2), mesh=MeshLayout(2, 3))
+    recon = GradientDecompositionReconstructor(mesh=decomp.mesh, iterations=1)
+    schedule = recon.build_iteration_schedule(decomp)
+    return decomp, schedule
+
+
+class TestLoadBalance:
+    def test_statistics(self, setup):
+        decomp, _ = setup
+        report = load_balance(decomp)
+        assert report.probes_min <= report.probes_mean <= report.probes_max
+        assert report.probes_mean == pytest.approx(36 / 6)
+        assert report.probe_imbalance >= 1.0
+        assert report.pixel_imbalance >= 1.0
+
+    def test_balanced_scan_partition(self, setup):
+        decomp, _ = setup
+        assert load_balance(decomp).probe_imbalance < 1.5
+
+    def test_format(self, setup):
+        decomp, _ = setup
+        text = load_balance(decomp).format()
+        assert "probes/rank" in text
+        assert "imbalance" in text
+
+
+class TestCommunicationMatrix:
+    def test_shape_and_symmetric_pattern(self, setup):
+        decomp, schedule = setup
+        m = communication_matrix(schedule)
+        assert m.shape == (6, 6)
+        # APPP passes exchange forward and backward over the same
+        # overlaps: traffic pattern (nonzero-ness) is symmetric.
+        np.testing.assert_array_equal(m > 0, (m > 0).T)
+
+    def test_no_self_traffic(self, setup):
+        _, schedule = setup
+        assert np.trace(communication_matrix(schedule)) == 0.0
+
+    def test_bytes_scaling(self, setup):
+        _, schedule = setup
+        m1 = communication_matrix(schedule, pixels_to_bytes=1.0)
+        m8 = communication_matrix(schedule, pixels_to_bytes=8.0)
+        np.testing.assert_allclose(m8, 8.0 * m1)
+
+    def test_only_mesh_neighbours_talk(self, setup):
+        decomp, schedule = setup
+        m = communication_matrix(schedule)
+        for a in range(decomp.n_ranks):
+            for b in range(decomp.n_ranks):
+                if m[a, b] > 0:
+                    # Directional passes only pair row/column neighbours.
+                    ra, ca = decomp.mesh.coords_of(a)
+                    rb, cb = decomp.mesh.coords_of(b)
+                    assert (ra == rb and abs(ca - cb) == 1) or (
+                        ca == cb and abs(ra - rb) == 1
+                    )
+
+
+class TestCriticalPath:
+    def test_parallel_schedule_beats_serial_work(self, setup):
+        decomp, schedule = setup
+        total_probes = sum(len(t.probes) for t in decomp.tiles)
+        cp = critical_path_length(schedule)
+        assert cp < total_probes  # parallelism exists
+        assert cp >= total_probes / decomp.n_ranks  # and is bounded
+
+    def test_hve_critical_path_includes_redundancy(self, setup):
+        """The extra neighbour probes lengthen HVE's per-iteration
+        critical path well beyond the gradient decomposition's."""
+        decomp, gd_schedule = setup
+        from repro.core.decomposition import decompose_halo_exchange
+
+        hve = HaloExchangeReconstructor(
+            mesh=decomp.mesh, iterations=1, extra_rows=1,
+            enforce_tile_constraint=False,
+        )
+        hve_decomp = decompose_halo_exchange(
+            decomp.scan,
+            (decomp.bounds.r1, decomp.bounds.c1),
+            mesh=decomp.mesh,
+            extra_rows=1,
+            enforce_tile_constraint=False,
+        )
+        hve_schedule = hve.build_iteration_schedule(hve_decomp)
+        assert critical_path_length(hve_schedule) > critical_path_length(
+            gd_schedule
+        )
+
+    def test_empty_schedule(self):
+        from repro.schedule.ops import Schedule
+
+        assert critical_path_length(Schedule(2)) == 0.0

@@ -1,0 +1,119 @@
+"""Property-based tests of engine-level invariants (pure-array level,
+independent of the physics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.decomposition import decompose_gradient
+from repro.core.stitching import stitch
+from repro.parallel.topology import MeshLayout
+from repro.physics.scan import RasterScan, ScanSpec
+
+
+def make_decomp(mesh_r, mesh_c, grid=5, step=4.0, window=10):
+    scan = RasterScan(
+        ScanSpec(grid=(grid, grid), step_px=step), probe_window_px=window
+    )
+    r, c = scan.required_fov()
+    return decompose_gradient(
+        scan, (r + 3, c + 3), mesh=MeshLayout(mesh_r, mesh_c)
+    )
+
+
+class TestScatterStitchRoundtrip:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(1, 4), st.integers(1, 4), st.integers(1, 3),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_restrict_then_stitch_is_identity(
+        self, mesh_r, mesh_c, slices, seed
+    ):
+        """Distributing a global volume to extended tiles and stitching
+        the cores back returns the original volume exactly."""
+        decomp = make_decomp(mesh_r, mesh_c)
+        rng = np.random.default_rng(seed)
+        bounds = decomp.bounds
+        global_volume = rng.normal(
+            size=(slices, bounds.height, bounds.width)
+        ) + 1j * rng.normal(size=(slices, bounds.height, bounds.width))
+        tiles = []
+        for t in decomp.tiles:
+            sl = t.ext.slices_in(bounds)
+            tiles.append(global_volume[:, sl[0], sl[1]].copy())
+        out = stitch(decomp, tiles, slices)
+        np.testing.assert_array_equal(out, global_volume)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 3), st.integers(1, 3))
+    def test_core_areas_sum_to_image(self, mesh_r, mesh_c):
+        decomp = make_decomp(mesh_r, mesh_c)
+        assert (
+            sum(t.core.area for t in decomp.tiles) == decomp.bounds.area
+        )
+
+
+class TestOverlapStructure:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 4), st.integers(2, 4), st.integers(2, 6))
+    def test_adjacent_tiles_always_overlap_with_halos(
+        self, mesh_r, mesh_c, step
+    ):
+        """With window >= step, neighbouring extended tiles share a
+        region — the channel the passes move gradients through."""
+        decomp = make_decomp(mesh_r, mesh_c, step=float(step), window=12)
+        mesh = decomp.mesh
+        for r in range(mesh.rows - 1):
+            for c in range(mesh.cols):
+                a = mesh.rank_of(r, c)
+                b = mesh.rank_of(r + 1, c)
+                assert decomp.overlap(a, b) is not None
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 4))
+    def test_probe_windows_covered_by_owner_ext(self, mesh_r, mesh_c):
+        decomp = make_decomp(mesh_r, mesh_c)
+        for t in decomp.tiles:
+            for p in t.probes:
+                w = decomp.scan.window_of(p).clip(decomp.bounds)
+                assert t.ext.contains(w)
+
+
+class TestCommFuzz:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 3),  # src
+                st.integers(0, 3),  # dst
+                st.integers(0, 4),  # tag
+                st.integers(1, 16),  # payload size
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_fifo_per_edge_under_random_traffic(self, traffic):
+        """Random send sequences: receives drain each (src,dst,tag) edge
+        in FIFO order and conservation holds."""
+        from collections import defaultdict, deque
+
+        from repro.parallel.comm import VirtualComm
+
+        comm = VirtualComm(4)
+        expected = defaultdict(deque)
+        sent = 0
+        for i, (src, dst, tag, size) in enumerate(traffic):
+            if src == dst:
+                continue
+            payload = np.full(size, i, dtype=np.float64)
+            comm.send(payload, src, dst, tag)
+            expected[(src, dst, tag)].append(i)
+            sent += 1
+        assert comm.sent_messages == sent
+        for (src, dst, tag), order in expected.items():
+            for marker in order:
+                received = comm.recv(dst, src, tag)
+                assert received[0] == marker
+        assert comm.pending_messages() == 0

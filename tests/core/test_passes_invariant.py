@@ -1,0 +1,220 @@
+"""THE central invariant (paper Secs. III-IV):
+
+after vertical forward+backward and horizontal forward+backward passes,
+every rank's accumulation buffer equals the restriction of the *global*
+buffer sum to its extended tile.
+
+Checked property-based over random mesh shapes, scan geometries, halo
+widths and buffer contents, with a 30-line reference executor
+(tests/helpers.py) that is independent of the numeric engine.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.decomposition import decompose_gradient
+from repro.core.passes import (
+    build_allreduce_sync,
+    build_appp_passes,
+    build_barrier_passes,
+    build_neighbor_exchanges,
+)
+from repro.parallel.topology import MeshLayout
+from repro.physics.scan import RasterScan, ScanSpec
+from repro.schedule.ops import Schedule
+
+from tests.helpers import ReferenceBufferExecutor, random_buffers
+
+
+def make_decomp(mesh_r, mesh_c, grid=6, step=4.0, window=12, halo="exact"):
+    scan = RasterScan(
+        ScanSpec(grid=(grid, grid), step_px=step), probe_window_px=window
+    )
+    r, c = scan.required_fov()
+    return decompose_gradient(
+        scan, (r + 2, c + 2), mesh=MeshLayout(mesh_r, mesh_c), halo=halo
+    )
+
+
+def assert_invariant(decomp, builder, rng, lead=()):
+    buffers = random_buffers(decomp, rng, lead=lead)
+    executor = ReferenceBufferExecutor(decomp, [b.copy() for b in buffers])
+    expected = ReferenceBufferExecutor(decomp, buffers).global_sum()
+
+    schedule = Schedule(decomp.n_ranks)
+    builder(schedule, decomp)
+    schedule.validate()
+    executor.run(schedule)
+
+    for rank, tile in enumerate(decomp.tiles):
+        sl = tile.ext.slices_in(decomp.bounds)
+        np.testing.assert_allclose(
+            executor.buffers[rank],
+            expected[(Ellipsis, *sl)],
+            atol=1e-10,
+            err_msg=f"rank {rank} buffer does not match the global sum",
+        )
+
+
+class TestAPPPInvariant:
+    def test_3x3_paper_example(self, rng):
+        assert_invariant(make_decomp(3, 3), build_appp_passes, rng)
+
+    def test_with_slices_axis(self, rng):
+        assert_invariant(make_decomp(2, 3), build_appp_passes, rng, lead=(2,))
+
+    def test_single_rank_noop(self, rng):
+        assert_invariant(make_decomp(1, 1), build_appp_passes, rng)
+
+    def test_strip_meshes(self, rng):
+        assert_invariant(make_decomp(1, 4), build_appp_passes, rng)
+        assert_invariant(make_decomp(4, 1), build_appp_passes, rng)
+
+    def test_high_overlap_indirect_neighbours(self, rng):
+        """Windows spanning non-adjacent tiles (paper Fig. 3(c)): the
+        directional passes must still deliver exact sums."""
+        decomp = make_decomp(4, 4, grid=8, step=2.0, window=16)
+        # sanity: some ext tiles overlap non-adjacent tiles
+        t0 = decomp.tile_at(0, 0).ext
+        t2 = decomp.tile_at(2, 0).ext
+        assert t0.overlaps(t2), "test setup should be high-overlap"
+        assert_invariant(decomp, build_appp_passes, rng)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(1, 4),
+        st.integers(1, 4),
+        st.integers(3, 8),
+        st.integers(2, 6),
+        st.integers(8, 16),
+        st.integers(12345, 99999),
+    )
+    def test_property_random_geometry(
+        self, mesh_r, mesh_c, grid, step, window, seed
+    ):
+        rng = np.random.default_rng(seed)
+        decomp = make_decomp(
+            mesh_r, mesh_c, grid=grid, step=float(step), window=window
+        )
+        assert_invariant(decomp, build_appp_passes, rng)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10), st.integers(77, 777))
+    def test_property_fixed_halo(self, halo, seed):
+        rng = np.random.default_rng(seed)
+        decomp = make_decomp(3, 2, halo=halo)
+        assert_invariant(decomp, build_appp_passes, rng)
+
+
+class TestOtherPlannersMatch:
+    def test_barrier_equals_appp(self, rng):
+        decomp = make_decomp(3, 3)
+        assert_invariant(decomp, build_barrier_passes, rng)
+
+    def test_allreduce_equals_appp(self, rng):
+        decomp = make_decomp(3, 3)
+        assert_invariant(decomp, build_allreduce_sync, rng)
+
+    def test_all_planners_identical_results(self, rng):
+        """Same buffers through all three correct planners — identical."""
+        decomp = make_decomp(2, 4)
+        base = random_buffers(decomp, rng)
+        results = []
+        for builder in (
+            build_appp_passes,
+            build_barrier_passes,
+            build_allreduce_sync,
+        ):
+            ex = ReferenceBufferExecutor(decomp, [b.copy() for b in base])
+            schedule = Schedule(decomp.n_ranks)
+            builder(schedule, decomp)
+            ex.run(schedule)
+            results.append(ex.buffers)
+        for rank in range(decomp.n_ranks):
+            np.testing.assert_allclose(
+                results[0][rank], results[1][rank], atol=1e-10
+            )
+            np.testing.assert_allclose(
+                results[0][rank], results[2][rank], atol=1e-10
+            )
+
+
+class TestNeighborPlannerLimits:
+    """The Sec. III direct-neighbour scheme: right at low overlap, wrong at
+    high overlap — the failure that motivates the directional passes."""
+
+    def test_correct_when_overlap_is_direct_only(self, rng):
+        # Large tiles relative to halos: ext tiles only touch direct
+        # neighbours, where pairwise adds are exact.
+        decomp = make_decomp(2, 2, grid=6, step=5.0, window=8)
+        for a in range(decomp.n_ranks):
+            for b in range(decomp.n_ranks):
+                if a != b and decomp.overlap(a, b) is not None:
+                    assert b in decomp.mesh.neighbors8(a)
+        assert_invariant(decomp, build_neighbor_exchanges, rng)
+
+    def test_wrong_at_high_overlap(self, rng):
+        """Non-adjacent tiles never hear from each other (Fig. 3(d))."""
+        decomp = make_decomp(4, 4, grid=8, step=2.0, window=16)
+        buffers = random_buffers(decomp, rng)
+        expected = ReferenceBufferExecutor(
+            decomp, [b.copy() for b in buffers]
+        ).global_sum()
+        ex = ReferenceBufferExecutor(decomp, buffers)
+        schedule = Schedule(decomp.n_ranks)
+        build_neighbor_exchanges(schedule, decomp)
+        ex.run(schedule)
+        t = decomp.tile_at(0, 0)
+        sl = t.ext.slices_in(decomp.bounds)
+        with pytest.raises(AssertionError):
+            np.testing.assert_allclose(
+                ex.buffers[0], expected[(Ellipsis, *sl)], atol=1e-10
+            )
+
+
+class TestPassStructure:
+    def test_appp_has_no_barriers(self):
+        decomp = make_decomp(3, 3)
+        schedule = Schedule(decomp.n_ranks)
+        build_appp_passes(schedule, decomp)
+        assert "Barrier" not in schedule.counts()
+
+    def test_barrier_planner_has_barriers(self):
+        decomp = make_decomp(3, 3)
+        schedule = Schedule(decomp.n_ranks)
+        build_barrier_passes(schedule, decomp)
+        assert schedule.counts()["Barrier"] == 4  # one per phase
+
+    def test_appp_message_count_scales_with_mesh(self):
+        """(rows-1)*cols vertical + rows*(cols-1) horizontal edges, each
+        exchanged twice (forward + backward)."""
+        decomp = make_decomp(3, 3)
+        schedule = Schedule(decomp.n_ranks)
+        build_appp_passes(schedule, decomp)
+        n_exchanges = schedule.counts()["BufferExchange"]
+        expected = 2 * ((3 - 1) * 3 + 3 * (3 - 1))
+        assert n_exchanges == expected
+
+    def test_exchange_regions_inside_both_ext_tiles(self):
+        decomp = make_decomp(3, 4)
+        schedule = Schedule(decomp.n_ranks)
+        build_appp_passes(schedule, decomp)
+        from repro.schedule.ops import BufferExchange
+
+        for op in schedule:
+            if isinstance(op, BufferExchange):
+                assert decomp.tile(op.src).ext.contains(op.region)
+                assert decomp.tile(op.dst).ext.contains(op.region)
+
+    def test_forward_adds_backward_replaces(self):
+        decomp = make_decomp(3, 1)
+        schedule = Schedule(decomp.n_ranks)
+        build_appp_passes(schedule, decomp)
+        from repro.schedule.ops import BufferExchange
+
+        ops = [op for op in schedule if isinstance(op, BufferExchange)]
+        # Vertical forward first (top->bottom, add), then backward
+        # (bottom->top, replace).
+        assert ops[0].mode == "add" and ops[0].src < ops[0].dst
+        assert ops[-1].mode == "replace" and ops[-1].src > ops[-1].dst

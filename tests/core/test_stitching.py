@@ -1,0 +1,70 @@
+"""Stitching: halo discard + exact core assembly."""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import decompose_gradient
+from repro.core.stitching import stitch
+from repro.parallel.topology import MeshLayout
+from repro.physics.scan import RasterScan, ScanSpec
+
+
+@pytest.fixture(scope="module")
+def decomp():
+    scan = RasterScan(ScanSpec(grid=(4, 4), step_px=4.0), probe_window_px=10)
+    r, c = scan.required_fov()
+    return decompose_gradient(scan, (r + 2, c + 2), mesh=MeshLayout(2, 3))
+
+
+class TestStitch:
+    def test_core_values_survive(self, decomp, rng):
+        """Each output voxel equals its owner's core value."""
+        n_slices = 2
+        volumes = []
+        for t in decomp.tiles:
+            vol = np.full(
+                (n_slices, t.ext.height, t.ext.width),
+                t.rank + 1.0,
+                dtype=np.complex128,
+            )
+            volumes.append(vol)
+        out = stitch(decomp, volumes, n_slices)
+        for t in decomp.tiles:
+            sl = t.core.slices_in(decomp.bounds)
+            np.testing.assert_array_equal(out[:, sl[0], sl[1]], t.rank + 1.0)
+
+    def test_halos_discarded(self, decomp):
+        """Poisoned halos must not leak into the output."""
+        n_slices = 1
+        volumes = []
+        for t in decomp.tiles:
+            vol = np.full(
+                (n_slices, t.ext.height, t.ext.width), np.nan, dtype=complex
+            )
+            core_sl = t.core.slices_in(t.ext)
+            vol[:, core_sl[0], core_sl[1]] = t.rank
+            volumes.append(vol)
+        out = stitch(decomp, volumes, n_slices)
+        assert np.isfinite(out).all()
+
+    def test_full_coverage(self, decomp):
+        n_slices = 1
+        volumes = [
+            np.ones((n_slices, t.ext.height, t.ext.width), dtype=complex)
+            for t in decomp.tiles
+        ]
+        out = stitch(decomp, volumes, n_slices)
+        np.testing.assert_array_equal(out, np.ones_like(out))
+
+    def test_wrong_volume_count(self, decomp):
+        with pytest.raises(ValueError):
+            stitch(decomp, [np.zeros((1, 4, 4))], 1)
+
+    def test_wrong_volume_shape(self, decomp):
+        volumes = [
+            np.zeros((1, t.ext.height, t.ext.width), dtype=complex)
+            for t in decomp.tiles
+        ]
+        volumes[0] = np.zeros((1, 3, 3), dtype=complex)
+        with pytest.raises(ValueError):
+            stitch(decomp, volumes, 1)

@@ -1,0 +1,51 @@
+"""Report formatting helpers."""
+
+import pytest
+
+from repro.experiments.report import fmt, format_table
+
+
+class TestFmt:
+    def test_floats_rounded(self):
+        assert fmt(3.14159) == "3.14"
+        assert fmt(3.14159, digits=4) == "3.1416"
+
+    def test_large_numbers_grouped(self):
+        assert fmt(5543.0) == "5,543"
+
+    def test_nan_dashed(self):
+        assert fmt(float("nan")) == "-"
+
+    def test_strings_pass_through(self):
+        assert fmt("NA") == "NA"
+
+    def test_ints_pass_through(self):
+        assert fmt(42) == "42"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["longer", 22]], title="t"
+        )
+        lines = text.split("\n")
+        assert lines[0] == "t"
+        # All data lines share the header width.
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) == 1
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_mixed_types(self):
+        text = format_table(
+            ["gpus", "mem", "status"],
+            [[6, 2.53, "ok"], [126, "NA", "NA"]],
+        )
+        assert "2.53" in text
+        assert "NA" in text

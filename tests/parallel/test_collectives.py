@@ -1,0 +1,81 @@
+"""Ring all-reduce over the p2p layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel.collectives import ring_allreduce
+from repro.parallel.comm import VirtualComm
+
+
+class TestRingAllreduce:
+    def test_matches_direct_sum(self, rng):
+        p = 4
+        comm = VirtualComm(p)
+        buffers = [rng.normal(size=(3, 5)) for _ in range(p)]
+        out = ring_allreduce(comm, buffers)
+        expected = np.sum(buffers, axis=0)
+        for result in out:
+            np.testing.assert_allclose(result, expected, atol=1e-12)
+
+    def test_inputs_not_mutated(self, rng):
+        comm = VirtualComm(3)
+        buffers = [rng.normal(size=7) for _ in range(3)]
+        copies = [b.copy() for b in buffers]
+        ring_allreduce(comm, buffers)
+        for b, c in zip(buffers, copies):
+            np.testing.assert_array_equal(b, c)
+
+    def test_message_count_matches_ring_formula(self, rng):
+        """2 phases x (P-1) steps x P ranks messages — the count the
+        network model's all-reduce formula is built on."""
+        p = 5
+        comm = VirtualComm(p)
+        ring_allreduce(comm, [rng.normal(size=10) for _ in range(p)])
+        assert comm.sent_messages == 2 * (p - 1) * p
+        assert comm.pending_messages() == 0
+
+    def test_single_rank_copy(self, rng):
+        comm = VirtualComm(1)
+        buf = rng.normal(size=4)
+        (out,) = ring_allreduce(comm, [buf])
+        np.testing.assert_array_equal(out, buf)
+        assert out is not buf
+
+    def test_size_smaller_than_ranks(self, rng):
+        """Degenerate chunking (empty chunks) still sums correctly."""
+        p = 6
+        comm = VirtualComm(p)
+        buffers = [rng.normal(size=2) for _ in range(p)]
+        out = ring_allreduce(comm, buffers)
+        for result in out:
+            np.testing.assert_allclose(result, np.sum(buffers, axis=0))
+
+    def test_complex_dtype(self, rng):
+        p = 3
+        comm = VirtualComm(p)
+        buffers = [
+            rng.normal(size=(2, 4)) + 1j * rng.normal(size=(2, 4))
+            for _ in range(p)
+        ]
+        out = ring_allreduce(comm, buffers)
+        for result in out:
+            np.testing.assert_allclose(result, np.sum(buffers, axis=0))
+
+    def test_validation(self, rng):
+        comm = VirtualComm(3)
+        with pytest.raises(ValueError):
+            ring_allreduce(comm, [np.zeros(3)] * 2)
+        with pytest.raises(ValueError):
+            ring_allreduce(comm, [np.zeros(3), np.zeros(4), np.zeros(3)])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 7), st.integers(1, 40), st.integers(0, 2**31 - 1))
+    def test_property_any_size(self, p, n, seed):
+        rng = np.random.default_rng(seed)
+        comm = VirtualComm(p)
+        buffers = [rng.normal(size=n) for _ in range(p)]
+        out = ring_allreduce(comm, buffers)
+        expected = np.sum(buffers, axis=0)
+        for result in out:
+            np.testing.assert_allclose(result, expected, atol=1e-10)

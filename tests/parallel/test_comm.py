@@ -1,0 +1,130 @@
+"""VirtualComm — the mpi4py-shaped message layer."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.comm import CommError, VirtualComm
+
+
+@pytest.fixture()
+def comm():
+    return VirtualComm(4)
+
+
+class TestBasics:
+    def test_size(self, comm):
+        assert comm.Get_size() == 4
+        assert comm.n_ranks == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VirtualComm(0)
+
+
+class TestPointToPoint:
+    def test_send_recv_roundtrip(self, comm, rng):
+        payload = rng.normal(size=(5, 5))
+        comm.send(payload, src=0, dst=1, tag=7)
+        received = comm.recv(dst=1, src=0, tag=7)
+        np.testing.assert_array_equal(received, payload)
+
+    def test_payload_snapshot_isolation(self, comm):
+        """Mutating the source array after send must not leak."""
+        payload = np.zeros(3)
+        comm.send(payload, 0, 1)
+        payload[:] = 99.0
+        received = comm.recv(1, 0)
+        np.testing.assert_array_equal(received, np.zeros(3))
+
+    def test_fifo_order_per_edge(self, comm):
+        comm.send(np.array([1]), 0, 1, tag=0)
+        comm.send(np.array([2]), 0, 1, tag=0)
+        assert comm.recv(1, 0, tag=0)[0] == 1
+        assert comm.recv(1, 0, tag=0)[0] == 2
+
+    def test_tags_are_independent_streams(self, comm):
+        comm.send(np.array([1]), 0, 1, tag=5)
+        comm.send(np.array([2]), 0, 1, tag=6)
+        assert comm.recv(1, 0, tag=6)[0] == 2
+        assert comm.recv(1, 0, tag=5)[0] == 1
+
+    def test_unmatched_recv_raises(self, comm):
+        with pytest.raises(CommError, match="no matching message"):
+            comm.recv(1, 0, tag=3)
+
+    def test_self_send_rejected(self, comm):
+        with pytest.raises(CommError):
+            comm.send(np.zeros(1), 2, 2)
+
+    def test_rank_bounds(self, comm):
+        with pytest.raises(CommError):
+            comm.send(np.zeros(1), 0, 4)
+        with pytest.raises(CommError):
+            comm.send(np.zeros(1), -1, 1)
+
+
+class TestNonBlocking:
+    def test_isend_completes_immediately(self, comm):
+        req = comm.isend(np.ones(2), 0, 1)
+        ready, _ = req.test()
+        assert ready
+        assert req.wait() is None
+
+    def test_irecv_wait_returns_payload(self, comm):
+        comm.send(np.arange(3), 0, 2, tag=1)
+        req = comm.irecv(dst=2, src=0, tag=1)
+        np.testing.assert_array_equal(req.wait(), np.arange(3))
+
+    def test_irecv_test_before_send(self, comm):
+        req = comm.irecv(dst=2, src=0, tag=1)
+        ready, _ = req.test()
+        assert not ready
+        comm.send(np.arange(3), 0, 2, tag=1)
+        ready, _ = req.test()
+        assert ready
+
+    def test_double_wait_raises(self, comm):
+        comm.send(np.ones(1), 0, 1)
+        req = comm.irecv(1, 0)
+        req.wait()
+        with pytest.raises(CommError):
+            req.wait()
+
+
+class TestAccounting:
+    def test_bytes_and_messages_counted(self, comm):
+        payload = np.zeros(100, dtype=np.float64)
+        comm.send(payload, 0, 1)
+        comm.send(payload, 1, 2)
+        assert comm.sent_messages == 2
+        assert comm.sent_bytes == 2 * 800
+        assert comm.per_rank_sent_bytes[0] == 800
+        assert comm.per_rank_sent_bytes[1] == 800
+
+    def test_pending_messages(self, comm):
+        comm.send(np.zeros(1), 0, 1)
+        assert comm.pending_messages() == 1
+        comm.recv(1, 0)
+        assert comm.pending_messages() == 0
+
+
+class TestAllreduce:
+    def test_sum_correct(self, comm, rng):
+        contributions = [rng.normal(size=(3, 3)) for _ in range(4)]
+        total = comm.allreduce_sum(contributions)
+        np.testing.assert_allclose(total, np.sum(contributions, axis=0))
+
+    def test_counts_contributions(self, comm):
+        with pytest.raises(CommError):
+            comm.allreduce_sum([np.zeros(2)] * 3)
+
+    def test_shape_mismatch(self, comm):
+        with pytest.raises(CommError):
+            comm.allreduce_sum(
+                [np.zeros(2), np.zeros(3), np.zeros(2), np.zeros(2)]
+            )
+
+    def test_traffic_accounted(self, comm):
+        comm.allreduce_sum([np.zeros(100) for _ in range(4)])
+        assert comm.allreduce_calls == 1
+        assert comm.sent_bytes > 0

@@ -1,0 +1,176 @@
+"""Discrete-event timing interpreter."""
+
+import pytest
+
+from repro.parallel.event_sim import ASYNC_POST_SECONDS, EventSimulator
+from repro.parallel.network import LinkSpec, NetworkModel
+from repro.parallel.topology import ClusterTopology
+from repro.schedule.ops import (
+    AllReduceGradient,
+    ApplyBufferUpdate,
+    Barrier,
+    BufferExchange,
+    ComputeGradients,
+    Schedule,
+    VoxelPaste,
+)
+from repro.utils.geometry import Rect
+
+
+class UnitCosts:
+    """Trivial cost provider: 1s per probe, 1 byte/px, tiny pointwise."""
+
+    def __init__(self, probe_s=1.0, bytes_per_px=1.0):
+        self.probe_s = probe_s
+        self.bytes_per_px = bytes_per_px
+
+    def gradient_seconds(self, rank, n_probes):
+        return self.probe_s * n_probes
+
+    def exchange_bytes(self, region_area):
+        return self.bytes_per_px * region_area
+
+    def apply_seconds(self, region_area):
+        return 0.0
+
+    def update_seconds(self, rank):
+        return 0.0
+
+    def allreduce_bytes(self):
+        return 1e6
+
+
+def make_sim(n_ranks=2, latency=0.1, bw=100.0, costs=None):
+    net = NetworkModel(
+        ClusterTopology(n_ranks, gpus_per_node=max(n_ranks, 6)),
+        intra_node=LinkSpec(latency, bw),
+        inter_node=LinkSpec(latency, bw),
+    )
+    return EventSimulator(net, costs or UnitCosts())
+
+
+class TestComputeOnly:
+    def test_parallel_ranks_overlap(self):
+        sched = Schedule(2)
+        sched.add(ComputeGradients(rank=0, probe_indices=(0, 1)))
+        sched.add(ComputeGradients(rank=1, probe_indices=(2, 3, 4)))
+        report = make_sim().run(sched)
+        assert report.makespan_s == pytest.approx(3.0)
+        assert report.timelines[0].compute_s == pytest.approx(2.0)
+        assert report.timelines[1].compute_s == pytest.approx(3.0)
+
+    def test_sequential_same_rank(self):
+        sched = Schedule(1)
+        sched.add(ComputeGradients(rank=0, probe_indices=(0,)))
+        sched.add(ComputeGradients(rank=0, probe_indices=(1,)))
+        report = make_sim(1).run(sched)
+        assert report.makespan_s == pytest.approx(2.0)
+
+
+class TestExchange:
+    def test_receiver_waits_for_slow_sender(self):
+        """Rank 1 is idle; rank 0 computes 2s then sends — rank 1 waits on
+        the sender (not the network)."""
+        sched = Schedule(2)
+        sched.add(ComputeGradients(rank=0, probe_indices=(0, 1)))
+        region = Rect(0, 10, 0, 10)
+        sched.add(BufferExchange(src=0, dst=1, region=region))
+        report = make_sim(latency=0.0, bw=1e12).run(sched)
+        assert report.timelines[1].wait_s == pytest.approx(
+            2.0 + ASYNC_POST_SECONDS, abs=1e-4
+        )
+
+    def test_network_time_attributed_to_comm(self):
+        """Both ranks ready: blocking time is pure network -> comm."""
+        sched = Schedule(2)
+        region = Rect(0, 10, 0, 10)  # 100 bytes at 1 B/px
+        sched.add(BufferExchange(src=0, dst=1, region=region))
+        report = make_sim(latency=0.5, bw=200.0).run(sched)
+        expected_transfer = 0.5 + 100 / 200.0
+        assert report.timelines[1].comm_s == pytest.approx(
+            expected_transfer + ASYNC_POST_SECONDS, abs=1e-4
+        )
+        # The only waiting is on the sender's (tiny) post overhead.
+        assert report.timelines[1].wait_s == pytest.approx(
+            ASYNC_POST_SECONDS, abs=1e-9
+        )
+
+    def test_async_sender_not_blocked(self):
+        """isend: the source only pays the posting overhead."""
+        sched = Schedule(2)
+        sched.add(BufferExchange(src=0, dst=1, region=Rect(0, 100, 0, 100)))
+        sched.add(ComputeGradients(rank=0, probe_indices=(0,)))
+        report = make_sim(latency=10.0, bw=1.0).run(sched)
+        # Rank 0 finishes its compute right after the cheap post.
+        assert report.timelines[0].clock_s == pytest.approx(
+            1.0 + ASYNC_POST_SECONDS, abs=1e-4
+        )
+
+    def test_sync_paste_blocks_sender(self):
+        """VoxelPaste: the source is blocked for the full transfer."""
+        sched = Schedule(2)
+        sched.add(VoxelPaste(src=0, dst=1, region=Rect(0, 10, 0, 10)))
+        sched.add(ComputeGradients(rank=0, probe_indices=(0,)))
+        report = make_sim(latency=0.5, bw=200.0).run(sched)
+        assert report.timelines[0].clock_s == pytest.approx(
+            (0.5 + 0.5) + 1.0
+        )
+
+    def test_chain_serializes(self):
+        """A 3-rank forward chain costs ~2 sequential transfers."""
+        sched = Schedule(3)
+        region = Rect(0, 10, 0, 10)
+        sched.add(BufferExchange(src=0, dst=1, region=region))
+        sched.add(BufferExchange(src=1, dst=2, region=region))
+        report = make_sim(3, latency=1.0, bw=1e12).run(sched)
+        assert report.makespan_s == pytest.approx(2.0, abs=0.01)
+
+
+class TestCollectives:
+    def test_barrier_synchronizes(self):
+        sched = Schedule(2)
+        sched.add(ComputeGradients(rank=0, probe_indices=(0, 1, 2)))
+        sched.add(Barrier(n_ranks=2))
+        report = make_sim().run(sched)
+        assert report.timelines[1].wait_s == pytest.approx(3.0, abs=0.01)
+
+    def test_allreduce_charges_everyone(self):
+        sched = Schedule(2)
+        sched.add(AllReduceGradient(n_ranks=2))
+        report = make_sim(latency=0.0, bw=1e6).run(sched)
+        expected = 2 * 1 * (1e6 / 2 / 1e6)
+        for line in report.timelines:
+            assert line.comm_s == pytest.approx(expected)
+
+
+class TestReport:
+    def test_breakdown_keys(self):
+        sched = Schedule(1)
+        sched.add(ComputeGradients(rank=0, probe_indices=(0,)))
+        report = make_sim(1).run(sched)
+        assert set(report.breakdown()) == {"compute_s", "wait_s", "comm_s"}
+
+    def test_run_iterations_scales(self):
+        sched = Schedule(1)
+        sched.add(ComputeGradients(rank=0, probe_indices=(0,)))
+        sim = make_sim(1)
+        one = sim.run(sched)
+        ten = sim.run_iterations(sched, 10)
+        assert ten.makespan_s == pytest.approx(10 * one.makespan_s)
+        assert ten.messages == 10 * one.messages
+
+    def test_run_iterations_validation(self):
+        sched = Schedule(1)
+        sim = make_sim(1)
+        with pytest.raises(ValueError):
+            sim.run_iterations(sched, 0)
+
+    def test_clock_equals_components(self):
+        """compute + wait + comm accounts for the full timeline."""
+        sched = Schedule(2)
+        sched.add(ComputeGradients(rank=0, probe_indices=(0, 1)))
+        sched.add(BufferExchange(src=0, dst=1, region=Rect(0, 5, 0, 5)))
+        sched.add(Barrier(n_ranks=2))
+        report = make_sim(latency=0.1, bw=100.0).run(sched)
+        for line in report.timelines:
+            assert line.total_s == pytest.approx(line.clock_s, rel=1e-6)

@@ -1,0 +1,101 @@
+"""Event-simulator trace recording."""
+
+import pytest
+
+from repro.parallel.event_sim import EventSimulator
+from repro.parallel.network import LinkSpec, NetworkModel
+from repro.parallel.topology import ClusterTopology
+from repro.schedule.ops import (
+    ApplyProbeUpdate,
+    BufferExchange,
+    ComputeGradients,
+    ProbeSync,
+    Schedule,
+)
+from repro.utils.geometry import Rect
+
+
+class Unit:
+    def gradient_seconds(self, rank, n):
+        return float(n)
+
+    def exchange_bytes(self, area):
+        return float(area)
+
+    def apply_seconds(self, area):
+        return 0.1
+
+    def update_seconds(self, rank):
+        return 0.2
+
+    def allreduce_bytes(self):
+        return 100.0
+
+    def probe_bytes(self):
+        return 50.0
+
+    def probe_update_seconds(self, rank):
+        return 0.05
+
+
+def make_sim(n=2):
+    return EventSimulator(
+        NetworkModel(
+            ClusterTopology(n, gpus_per_node=6),
+            intra_node=LinkSpec(0.01, 100.0),
+            inter_node=LinkSpec(0.01, 100.0),
+        ),
+        Unit(),
+    )
+
+
+class TestTrace:
+    def test_disabled_by_default(self):
+        sched = Schedule(1)
+        sched.add(ComputeGradients(rank=0, probe_indices=(0,)))
+        assert make_sim(1).run(sched).trace is None
+
+    def test_intervals_cover_timeline(self):
+        sched = Schedule(2)
+        sched.add(ComputeGradients(rank=0, probe_indices=(0, 1)))
+        sched.add(BufferExchange(src=0, dst=1, region=Rect(0, 5, 0, 5)))
+        report = make_sim().run(sched, record_trace=True)
+        assert report.trace
+        kinds = {e.kind for e in report.trace}
+        assert kinds == {"compute", "send", "recv"}
+        for e in report.trace:
+            assert e.end_s >= e.start_s
+            assert e.end_s <= report.makespan_s + 1e-9
+
+    def test_rank_intervals_do_not_overlap(self):
+        """A rank is one serial executor: its trace intervals are
+        disjoint."""
+        sched = Schedule(2)
+        sched.add(ComputeGradients(rank=0, probe_indices=(0,)))
+        sched.add(BufferExchange(src=0, dst=1, region=Rect(0, 3, 0, 3)))
+        sched.add(ComputeGradients(rank=0, probe_indices=(1, 2)))
+        report = make_sim().run(sched, record_trace=True)
+        for rank in (0, 1):
+            spans = sorted(
+                (e.start_s, e.end_s)
+                for e in report.trace
+                if e.rank == rank
+            )
+            for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+                assert e1 <= s2 + 1e-9
+
+    def test_probe_ops_traced(self):
+        sched = Schedule(2)
+        sched.add(ProbeSync(n_ranks=2))
+        sched.add(ApplyProbeUpdate(rank=0, lr=0.1))
+        sched.add(ApplyProbeUpdate(rank=1, lr=0.1))
+        report = make_sim().run(sched, record_trace=True)
+        kinds = [e.kind for e in report.trace]
+        assert kinds.count("probesync") == 2  # one interval per rank
+        assert kinds.count("update") == 2
+
+    def test_duration_property(self):
+        sched = Schedule(1)
+        sched.add(ComputeGradients(rank=0, probe_indices=(0, 1, 2)))
+        report = make_sim(1).run(sched, record_trace=True)
+        assert report.trace[0].duration_s == pytest.approx(3.0)

@@ -1,0 +1,64 @@
+"""Per-rank memory tracking."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.memory import MemoryTracker
+
+
+@pytest.fixture()
+def tracker():
+    return MemoryTracker(3)
+
+
+class TestAllocation:
+    def test_current_and_peak(self, tracker):
+        tracker.allocate(0, "a", 100)
+        tracker.allocate(0, "b", 50)
+        assert tracker.current_bytes(0) == 150
+        assert tracker.peak_bytes(0) == 150
+        tracker.free(0, "a")
+        assert tracker.current_bytes(0) == 50
+        assert tracker.peak_bytes(0) == 150  # peak persists
+
+    def test_reallocation_replaces(self, tracker):
+        tracker.allocate(1, "buf", 100)
+        tracker.allocate(1, "buf", 40)
+        assert tracker.current_bytes(1) == 40
+        assert tracker.peak_bytes(1) == 100
+
+    def test_allocate_array(self, tracker):
+        arr = np.zeros((10, 10), dtype=np.complex128)
+        tracker.allocate_array(2, "vol", arr)
+        assert tracker.current_bytes(2) == 1600
+
+    def test_free_unknown_raises(self, tracker):
+        with pytest.raises(KeyError):
+            tracker.free(0, "ghost")
+
+    def test_negative_allocation_rejected(self, tracker):
+        with pytest.raises(ValueError):
+            tracker.allocate(0, "x", -5)
+
+    def test_rank_bounds(self, tracker):
+        with pytest.raises(ValueError):
+            tracker.allocate(3, "x", 1)
+
+    def test_breakdown(self, tracker):
+        tracker.allocate(0, "a", 10)
+        tracker.allocate(0, "b", 20)
+        assert tracker.breakdown(0) == {"a": 10, "b": 20}
+
+
+class TestAggregates:
+    def test_peak_max_and_mean(self, tracker):
+        tracker.allocate(0, "a", 100)
+        tracker.allocate(1, "a", 300)
+        tracker.allocate(2, "a", 200)
+        assert tracker.peak_bytes_max() == 300
+        assert tracker.peak_bytes_mean() == pytest.approx(200.0)
+        assert tracker.per_rank_peaks() == [100, 300, 200]
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            MemoryTracker(0)

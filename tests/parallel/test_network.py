@@ -1,0 +1,75 @@
+"""Link and network cost model."""
+
+import pytest
+
+from repro.parallel.network import INFINIBAND, NVLINK, LinkSpec, NetworkModel
+from repro.parallel.topology import ClusterTopology
+
+
+class TestLinkSpec:
+    def test_transfer_time_alpha_beta(self):
+        link = LinkSpec(latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+        assert link.transfer_time(1e9) == pytest.approx(1.0 + 1e-6)
+
+    def test_zero_bytes_costs_latency(self):
+        link = LinkSpec(2e-6, 1e9)
+        assert link.transfer_time(0) == pytest.approx(2e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkSpec(-1e-6, 1e9)
+        with pytest.raises(ValueError):
+            LinkSpec(1e-6, 0.0)
+        with pytest.raises(ValueError):
+            LinkSpec(1e-6, 1e9).transfer_time(-1)
+
+    def test_summit_line_rates(self):
+        assert NVLINK.bandwidth_bytes_per_s == pytest.approx(50e9)
+        assert INFINIBAND.bandwidth_bytes_per_s == pytest.approx(12.5e9)
+
+
+class TestNetworkModel:
+    @pytest.fixture()
+    def net(self):
+        return NetworkModel(ClusterTopology(12))
+
+    def test_intra_node_uses_nvlink(self, net):
+        assert net.link(0, 5) is net.intra_node
+
+    def test_inter_node_uses_ib(self, net):
+        assert net.link(0, 6) is net.inter_node
+
+    def test_nvlink_faster_than_ib(self, net):
+        nbytes = 1e8
+        assert net.p2p_time(0, 1, nbytes) < net.p2p_time(0, 6, nbytes)
+
+    def test_self_link_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.link(3, 3)
+
+    def test_allreduce_single_rank_free(self):
+        net = NetworkModel(ClusterTopology(1))
+        assert net.allreduce_time(1, 1e9) == 0.0
+
+    def test_allreduce_grows_with_ranks(self, net):
+        assert net.allreduce_time(12, 1e8) > net.allreduce_time(2, 1e8)
+
+    def test_allreduce_ring_formula(self, net):
+        p, nbytes = 12, 1.2e9
+        expected = 2 * (p - 1) * net.inter_node.transfer_time(nbytes / p)
+        assert net.allreduce_time(p, nbytes) == pytest.approx(expected)
+
+    def test_allreduce_single_node_uses_nvlink(self):
+        net = NetworkModel(ClusterTopology(6))
+        expected = 2 * 5 * net.intra_node.transfer_time(6e8 / 6)
+        assert net.allreduce_time(6, 6e8) == pytest.approx(expected)
+
+    def test_allreduce_collective_override(self):
+        slow = LinkSpec(5e-6, 1e9)
+        net = NetworkModel(ClusterTopology(12), collective=slow)
+        expected = 2 * 11 * slow.transfer_time(1.2e9 / 12)
+        assert net.allreduce_time(12, 1.2e9) == pytest.approx(expected)
+
+    def test_allreduce_validation(self, net):
+        with pytest.raises(ValueError):
+            net.allreduce_time(0, 1e6)

@@ -1,0 +1,118 @@
+"""Cluster and mesh topology."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.parallel.topology import ClusterTopology, MeshLayout, choose_mesh
+
+
+class TestClusterTopology:
+    def test_summit_node_counts(self):
+        """The paper's GPU counts map to its node counts (6 GPUs/node)."""
+        for gpus, nodes in [(6, 1), (24, 4), (54, 9), (462, 77), (4158, 693)]:
+            assert ClusterTopology(gpus).n_nodes == nodes
+
+    def test_partial_node_rounds_up(self):
+        assert ClusterTopology(7).n_nodes == 2
+
+    def test_node_of(self):
+        topo = ClusterTopology(12)
+        assert topo.node_of(0) == 0
+        assert topo.node_of(5) == 0
+        assert topo.node_of(6) == 1
+
+    def test_same_node(self):
+        topo = ClusterTopology(12)
+        assert topo.same_node(0, 5)
+        assert not topo.same_node(5, 6)
+
+    def test_ranks_on_node(self):
+        topo = ClusterTopology(8)
+        assert topo.ranks_on_node(0) == [0, 1, 2, 3, 4, 5]
+        assert topo.ranks_on_node(1) == [6, 7]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(0)
+        with pytest.raises(ValueError):
+            ClusterTopology(4).node_of(4)
+        with pytest.raises(ValueError):
+            ClusterTopology(4).ranks_on_node(3)
+
+
+class TestChooseMesh:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(6, (2, 3)), (54, (6, 9)), (462, (21, 22)), (4158, (63, 66))],
+    )
+    def test_paper_gpu_counts(self, n, expected):
+        rows, cols = choose_mesh(n, aspect=1.0)
+        assert {rows, cols} == set(expected)
+
+    def test_square_count(self):
+        assert choose_mesh(36, 1.0) == (6, 6)
+
+    def test_prime_degrades_to_strip(self):
+        rows, cols = choose_mesh(13, 1.0)
+        assert rows * cols == 13
+        assert 1 in (rows, cols)
+
+    def test_aspect_steers_orientation(self):
+        tall = choose_mesh(12, aspect=3.0)
+        wide = choose_mesh(12, aspect=1.0 / 3.0)
+        assert tall[0] >= tall[1]
+        assert wide[0] <= wide[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            choose_mesh(0)
+        with pytest.raises(ValueError):
+            choose_mesh(4, aspect=0.0)
+
+    @given(st.integers(1, 500))
+    def test_product_always_exact(self, n):
+        rows, cols = choose_mesh(n, 1.0)
+        assert rows * cols == n
+
+
+class TestMeshLayout:
+    def test_rank_coords_roundtrip(self):
+        mesh = MeshLayout(3, 4)
+        for rank in range(mesh.n_ranks):
+            r, c = mesh.coords_of(rank)
+            assert mesh.rank_of(r, c) == rank
+
+    def test_row_major_order(self):
+        mesh = MeshLayout(2, 3)
+        assert mesh.rank_of(0, 2) == 2
+        assert mesh.rank_of(1, 0) == 3
+
+    def test_column_and_row_ranks(self):
+        mesh = MeshLayout(3, 3)
+        assert mesh.column_ranks(1) == [1, 4, 7]
+        assert mesh.row_ranks(2) == [6, 7, 8]
+
+    def test_neighbors8_center(self):
+        mesh = MeshLayout(3, 3)
+        assert sorted(mesh.neighbors8(4)) == [0, 1, 2, 3, 5, 6, 7, 8]
+
+    def test_neighbors8_corner(self):
+        mesh = MeshLayout(3, 3)
+        assert sorted(mesh.neighbors8(0)) == [1, 3, 4]
+
+    def test_neighbors8_edge(self):
+        mesh = MeshLayout(3, 3)
+        assert sorted(mesh.neighbors8(1)) == [0, 2, 3, 4, 5]
+
+    def test_single_tile_mesh(self):
+        mesh = MeshLayout(1, 1)
+        assert mesh.neighbors8(0) == []
+        assert mesh.column_ranks(0) == [0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeshLayout(0, 3)
+        with pytest.raises(ValueError):
+            MeshLayout(2, 2).rank_of(2, 0)
+        with pytest.raises(ValueError):
+            MeshLayout(2, 2).coords_of(4)

@@ -1,0 +1,72 @@
+"""Machine model and calibration constants."""
+
+import pytest
+
+from repro.perfmodel.machine import SUMMIT, MachineSpec
+
+
+class TestMachineSpec:
+    def test_summit_shape(self):
+        assert SUMMIT.gpus_per_node == 6
+        assert SUMMIT.gpu_memory_bytes == pytest.approx(16e9)
+
+    def test_links(self):
+        assert SUMMIT.intra_link().bandwidth_bytes_per_s > (
+            SUMMIT.inter_link().bandwidth_bytes_per_s
+        )
+        assert SUMMIT.collective_link().bandwidth_bytes_per_s < (
+            SUMMIT.inter_link().bandwidth_bytes_per_s
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineSpec(effective_flops=0)
+        with pytest.raises(ValueError):
+            MachineSpec(gpu_memory_bytes=-1)
+        with pytest.raises(ValueError):
+            MachineSpec(speed_jitter=1.0)
+
+
+class TestPressureFactor:
+    def test_floor_is_one(self):
+        assert SUMMIT.pressure_factor(0.0) >= 1.0
+        assert SUMMIT.pressure_factor(0.0) < 1.1
+
+    def test_monotone_in_working_set(self):
+        sizes = [0.1e9, 1e9, 5e9, 9e9, 15e9]
+        factors = [SUMMIT.pressure_factor(s) for s in sizes]
+        assert factors == sorted(factors)
+
+    def test_saturates(self):
+        assert SUMMIT.pressure_factor(100e9) <= 1.0 + SUMMIT.pressure_amplitude
+
+    def test_calibrated_superlinearity(self):
+        """The 6-GPU large-dataset working set (~9 GB) must run several
+        times slower per probe than the 4158-GPU one (~0.2 GB) — the
+        driver of the paper's 364% efficiency."""
+        ratio = SUMMIT.pressure_factor(9e9) / SUMMIT.pressure_factor(0.2e9)
+        assert 3.0 < ratio < 6.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SUMMIT.pressure_factor(-1.0)
+
+
+class TestSpeedFactor:
+    def test_bounded_by_jitter(self):
+        for rank in range(200):
+            f = SUMMIT.speed_factor(rank)
+            assert 1 - SUMMIT.speed_jitter <= f <= 1 + SUMMIT.speed_jitter
+
+    def test_deterministic(self):
+        assert SUMMIT.speed_factor(17) == SUMMIT.speed_factor(17)
+
+    def test_heterogeneous(self):
+        factors = {round(SUMMIT.speed_factor(r), 6) for r in range(50)}
+        assert len(factors) > 25
+
+    def test_mean_near_one(self):
+        import numpy as np
+
+        mean = np.mean([SUMMIT.speed_factor(r) for r in range(1000)])
+        assert mean == pytest.approx(1.0, abs=0.02)

@@ -1,0 +1,128 @@
+"""Analytic memory model + cross-validation against the numeric engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import decompose_gradient
+from repro.core.engine import NumericEngine
+from repro.parallel.topology import MeshLayout
+from repro.perfmodel.machine import SUMMIT
+from repro.perfmodel.memory_model import MemoryBreakdown, MemoryModel
+from repro.physics.dataset import large_pbtio3_spec, small_pbtio3_spec
+from repro.physics.scan import RasterScan
+
+
+class TestBreakdown:
+    def test_total_sums_components(self):
+        b = MemoryBreakdown(1, 2, 3, 4, 5, 6)
+        assert b.total == 21
+        assert sum(b.as_dict().values()) == 21
+
+
+@pytest.fixture(scope="module")
+def large_decomp_4158():
+    spec = large_pbtio3_spec()
+    scan = RasterScan(spec.scan_spec(), probe_window_px=spec.detector_px)
+    return spec, decompose_gradient(
+        scan, spec.object_shape, mesh=MeshLayout(63, 66), halo=60
+    )
+
+
+class TestFullScale:
+    def test_table3_memory_shape(self, large_decomp_4158):
+        """At 4158 GPUs the paper reports 0.18 GB/GPU; we must land in
+        the same band."""
+        spec, decomp = large_decomp_4158
+        model = MemoryModel(spec, SUMMIT)
+        mean_gb = model.mean_bytes(decomp) / 1e9
+        assert 0.1 < mean_gb < 0.3
+
+    def test_measurements_dominate_at_small_scale(self):
+        spec = large_pbtio3_spec()
+        scan = RasterScan(spec.scan_spec(), probe_window_px=spec.detector_px)
+        decomp = decompose_gradient(
+            scan, spec.object_shape, mesh=MeshLayout(2, 3), halo=60
+        )
+        model = MemoryModel(spec, SUMMIT)
+        b = model.rank_breakdown(decomp, 0)
+        assert b.measurements > b.volume
+
+    def test_memory_monotone_decreasing_in_ranks(self):
+        spec = small_pbtio3_spec()
+        scan = RasterScan(spec.scan_spec(), probe_window_px=spec.detector_px)
+        model = MemoryModel(spec, SUMMIT)
+        means = []
+        for mesh in (MeshLayout(2, 3), MeshLayout(6, 9), MeshLayout(21, 22)):
+            decomp = decompose_gradient(
+                scan, spec.object_shape, mesh=mesh, halo=60
+            )
+            means.append(model.mean_bytes(decomp))
+        assert means[0] > means[1] > means[2]
+
+    def test_max_at_least_mean(self, large_decomp_4158):
+        spec, decomp = large_decomp_4158
+        model = MemoryModel(spec, SUMMIT)
+        assert model.max_bytes(decomp) >= model.mean_bytes(decomp)
+
+    def test_working_set_excludes_fixed(self, large_decomp_4158):
+        spec, decomp = large_decomp_4158
+        model = MemoryModel(spec, SUMMIT)
+        b = model.rank_breakdown(decomp, 0)
+        assert model.working_set_bytes(decomp, 0) == pytest.approx(
+            b.total - b.fixed
+        )
+
+    def test_no_gradient_buffer_option(self, large_decomp_4158):
+        spec, decomp = large_decomp_4158
+        with_buf = MemoryModel(spec, SUMMIT).mean_bytes(decomp)
+        without = MemoryModel(
+            spec, SUMMIT, needs_gradient_buffer=False
+        ).mean_bytes(decomp)
+        assert without < with_buf
+
+
+class TestCrossValidation:
+    """The analytic model must match the numeric engine's *measured*
+    allocations when parameterized with the engine's dtypes — this is what
+    lets us trust the full-scale numbers."""
+
+    def test_matches_engine_allocations(self, tiny_dataset, tiny_lr):
+        decomp = decompose_gradient(
+            tiny_dataset.scan, tiny_dataset.object_shape, mesh=MeshLayout(2, 2)
+        )
+        engine = NumericEngine(tiny_dataset, decomp, lr=tiny_lr)
+        model = MemoryModel(
+            tiny_dataset.spec,
+            SUMMIT,
+            measurement_itemsize=np.dtype(
+                tiny_dataset.spec.measurement_dtype
+            ).itemsize,
+            volume_itemsize=16,  # engine runs complex128
+            include_fixed=False,
+        )
+        for rank in range(decomp.n_ranks):
+            measured = engine.memory.breakdown(rank)
+            predicted = model.rank_breakdown(decomp, rank)
+            assert predicted.volume == measured["volume"]
+            assert predicted.gradient_buffer == measured["accbuf"]
+            assert predicted.measurements == measured["measurements"]
+            # probe dtype: engine stores complex128 probe
+            assert predicted.probe == measured["probe"]
+
+    def test_engine_total_within_model_envelope(self, tiny_dataset, tiny_lr):
+        """Engine peak (no workspace modeling) <= model total."""
+        decomp = decompose_gradient(
+            tiny_dataset.scan, tiny_dataset.object_shape, mesh=MeshLayout(2, 2)
+        )
+        engine = NumericEngine(tiny_dataset, decomp, lr=tiny_lr)
+        model = MemoryModel(
+            tiny_dataset.spec,
+            SUMMIT,
+            measurement_itemsize=2,
+            volume_itemsize=16,
+            include_fixed=False,
+        )
+        for rank in range(decomp.n_ranks):
+            assert engine.memory.peak_bytes(rank) <= model.rank_breakdown(
+                decomp, rank
+            ).total

@@ -1,0 +1,107 @@
+"""Synthetic PbTiO3 specimen generation."""
+
+import numpy as np
+import pytest
+
+from repro.physics.potential import (
+    ATOMIC_NUMBER,
+    SpecimenSpec,
+    make_specimen,
+    pbtio3_unit_cell,
+)
+
+
+class TestUnitCell:
+    def test_stoichiometry(self):
+        """PbTiO3: one Pb, one Ti, three O per cell."""
+        cell = pbtio3_unit_cell()
+        counts = {}
+        for el, *_ in cell:
+            counts[el] = counts.get(el, 0) + 1
+        assert counts == {"Pb": 1, "Ti": 1, "O": 3}
+
+    def test_fractional_coordinates(self):
+        for _, fx, fy, fz in pbtio3_unit_cell():
+            assert 0.0 <= fx <= 1.0
+            assert 0.0 <= fy <= 1.0
+            assert 0.0 <= fz <= 1.0
+
+    def test_ferroelectric_ti_offset(self):
+        """Ti sits off the cell center along c (the ferroelectric
+        displacement that makes PbTiO3 interesting)."""
+        ti = next(a for a in pbtio3_unit_cell() if a[0] == "Ti")
+        assert ti[3] != 0.5
+
+
+class TestSpecimenSpec:
+    def test_thickness(self):
+        spec = SpecimenSpec(n_slices=8, slice_thickness_pm=125.0)
+        assert spec.thickness_pm == pytest.approx(1000.0)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"n_slices": 0}, {"pixel_size_pm": -1.0}]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SpecimenSpec(**kwargs)
+
+
+class TestMakeSpecimen:
+    @pytest.fixture(scope="class")
+    def specimen(self):
+        return make_specimen(
+            SpecimenSpec(shape=(96, 96), n_slices=4), seed=5
+        )
+
+    def test_shape_and_dtype(self, specimen):
+        assert specimen.shape == (4, 96, 96)
+        assert specimen.dtype == np.complex128
+
+    def test_transmission_bounded(self, specimen):
+        """|O| <= 1 (absorption only removes amplitude)."""
+        assert np.abs(specimen).max() <= 1.0 + 1e-12
+
+    def test_has_structure(self, specimen):
+        """Atoms imprint phase; the phase field is non-trivial."""
+        assert np.angle(specimen).std() > 1e-3
+
+    def test_lattice_periodicity(self):
+        """Autocorrelation of the phase peaks near the lattice constant."""
+        spec = SpecimenSpec(shape=(128, 128), n_slices=2)
+        vol = make_specimen(spec)  # no disorder
+        phase = np.angle(vol[0])
+        phase = phase - phase.mean()
+        # 1-D autocorrelation along columns via FFT.
+        line = phase.mean(axis=0)
+        ac = np.correlate(line, line, mode="full")[len(line) - 1 :]
+        a_px = int(round(spec.lattice_a_pm / spec.pixel_size_pm))
+        window = ac[a_px - 3 : a_px + 4]
+        assert window.max() > 0.3 * ac[0]
+
+    def test_seed_reproducible(self):
+        spec = SpecimenSpec(shape=(64, 64), n_slices=2)
+        a = make_specimen(spec, seed=9)
+        b = make_specimen(spec, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_disorder(self):
+        spec = SpecimenSpec(shape=(64, 64), n_slices=2)
+        a = make_specimen(spec, seed=1)
+        b = make_specimen(spec, seed=2)
+        assert not np.allclose(a, b)
+
+    def test_no_seed_is_perfect_crystal(self):
+        spec = SpecimenSpec(shape=(64, 64), n_slices=2)
+        np.testing.assert_array_equal(
+            make_specimen(spec), make_specimen(spec)
+        )
+
+    def test_heavy_atoms_dominate_phase(self):
+        """Pb columns produce the strongest phase (Z^0.8 weighting)."""
+        spec = SpecimenSpec(shape=(96, 96), n_slices=2)
+        vol = make_specimen(spec)
+        peak_phase = np.angle(vol[0]).max()
+        assert peak_phase > 0.1  # heavy column clearly visible
+
+    def test_atomic_numbers(self):
+        assert ATOMIC_NUMBER["Pb"] > ATOMIC_NUMBER["Ti"] > ATOMIC_NUMBER["O"]

@@ -1,0 +1,109 @@
+"""Probe formation."""
+
+import numpy as np
+import pytest
+
+from repro.physics.probe import Probe, ProbeSpec, make_probe
+
+
+@pytest.fixture(scope="module")
+def probe32():
+    return make_probe(
+        ProbeSpec(window=32, defocus_pm=2000.0, pixel_size_pm=10.0)
+    )
+
+
+class TestProbeSpec:
+    def test_defaults_match_paper(self):
+        spec = ProbeSpec()
+        assert spec.energy_ev == 200_000.0
+        assert spec.aperture_rad == pytest.approx(30e-3)
+        assert spec.defocus_pm == pytest.approx(25_000.0)
+
+    def test_wavelength_property(self):
+        assert ProbeSpec().wavelength_pm == pytest.approx(2.508, rel=1e-3)
+
+    def test_nominal_radius_grows_with_defocus(self):
+        r1 = ProbeSpec(defocus_pm=1000.0).nominal_radius_pm
+        r2 = ProbeSpec(defocus_pm=5000.0).nominal_radius_pm
+        assert r2 > r1
+
+    def test_paper_probe_radius(self):
+        """30 mrad x 25 nm defocus -> ~750 pm defocus disc + Airy term."""
+        r = ProbeSpec().nominal_radius_pm
+        assert 750.0 < r < 860.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"energy_ev": 0.0},
+            {"aperture_rad": -0.01},
+            {"window": 0},
+            {"pixel_size_pm": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ProbeSpec(**kwargs)
+
+
+class TestMakeProbe:
+    def test_unit_intensity(self, probe32):
+        assert np.sum(np.abs(probe32.array) ** 2) == pytest.approx(1.0)
+
+    def test_dtype_and_shape(self, probe32):
+        assert probe32.array.shape == (32, 32)
+        assert probe32.array.dtype == np.complex128
+
+    def test_centered(self, probe32):
+        """Intensity centroid sits at the array center."""
+        n = probe32.window
+        yy, xx = np.mgrid[0:n, 0:n]
+        w = probe32.intensity
+        cy = (yy * w).sum() / w.sum()
+        cx = (xx * w).sum() / w.sum()
+        assert cy == pytest.approx((n - 1) / 2, abs=0.5)
+        assert cx == pytest.approx((n - 1) / 2, abs=0.5)
+
+    def test_support_radius_monotone_in_fraction(self, probe32):
+        assert probe32.support_radius_px(0.5) <= probe32.support_radius_px(
+            0.99
+        )
+
+    def test_support_radius_tracks_defocus(self):
+        small = make_probe(
+            ProbeSpec(window=48, defocus_pm=500.0, pixel_size_pm=10.0)
+        )
+        large = make_probe(
+            ProbeSpec(window=48, defocus_pm=3000.0, pixel_size_pm=10.0)
+        )
+        assert large.support_radius_px(0.9) > small.support_radius_px(0.9)
+
+    def test_support_radius_fraction_validation(self, probe32):
+        with pytest.raises(ValueError):
+            probe32.support_radius_px(0.0)
+        with pytest.raises(ValueError):
+            probe32.support_radius_px(1.5)
+
+    def test_zero_defocus_is_airy_like(self):
+        """In-focus probe concentrates intensity at the center pixel."""
+        p = make_probe(ProbeSpec(window=32, defocus_pm=0.0, pixel_size_pm=10.0))
+        peak = np.unravel_index(np.argmax(p.intensity), p.intensity.shape)
+        assert peak == (16, 16)
+
+    def test_tiny_aperture_degenerates_to_plane_wave(self):
+        """An aperture below the frequency resolution keeps only the DC
+        component: the probe becomes a uniform plane wave."""
+        p = make_probe(
+            ProbeSpec(window=8, aperture_rad=1e-6, pixel_size_pm=10.0)
+        )
+        np.testing.assert_allclose(
+            p.intensity, np.full((8, 8), 1.0 / 64.0), atol=1e-12
+        )
+
+    def test_spherical_aberration_changes_probe(self):
+        base = make_probe(ProbeSpec(window=32, defocus_pm=2000.0))
+        aberrated = make_probe(
+            ProbeSpec(window=32, defocus_pm=2000.0, cs_pm=5e9)
+        )
+        assert not np.allclose(base.array, aberrated.array)

@@ -1,0 +1,98 @@
+"""Fresnel propagation."""
+
+import numpy as np
+import pytest
+
+from repro.physics.propagation import FresnelPropagator
+from repro.utils.fftutils import fft2c
+
+
+@pytest.fixture(scope="module")
+def prop():
+    return FresnelPropagator((32, 32), 10.0, 2.508, 125.0)
+
+
+class TestConstruction:
+    def test_kernel_unit_modulus_in_band(self, prop):
+        k = prop.kernel
+        nonzero = np.abs(k) > 0
+        np.testing.assert_allclose(np.abs(k[nonzero]), 1.0, atol=1e-12)
+
+    def test_bandlimit_zeroes_corners(self, prop):
+        assert prop.kernel[0, 0] == 0.0  # corner frequency beyond 2/3 Nyquist
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"pixel_size_pm": 0.0},
+            {"wavelength_pm": -1.0},
+            {"bandlimit": 0.0},
+            {"bandlimit": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        defaults = dict(
+            shape=(8, 8), pixel_size_pm=10.0, wavelength_pm=2.5, dz_pm=125.0
+        )
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            FresnelPropagator(**defaults)
+
+
+class TestPhysics:
+    def test_zero_distance_kernel_is_pure_band_mask(self):
+        """At dz=0 the kernel carries no phase: values are exactly 0 or 1,
+        so propagation reduces to the anti-aliasing band mask."""
+        p = FresnelPropagator((16, 16), 10.0, 2.508, 0.0, bandlimit=1.0)
+        k = p.kernel
+        assert np.all((k == 0.0) | (np.abs(k - 1.0) < 1e-14))
+        # And a field already inside the band is untouched.
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(16, 16)) + 1j * rng.normal(size=(16, 16))
+        x_band = p.forward(x)
+        np.testing.assert_allclose(p.forward(x_band), x_band, atol=1e-12)
+
+    def test_energy_conserved_for_bandlimited_field(self, prop, rng):
+        """Unitary inside the band: a band-limited field keeps its norm."""
+        x = rng.normal(size=(32, 32)) + 1j * rng.normal(size=(32, 32))
+        # Project onto the propagator band first.
+        spectrum = fft2c(x)
+        spectrum[np.abs(prop.kernel) == 0] = 0.0
+        from repro.utils.fftutils import ifft2c
+
+        x_band = ifft2c(spectrum)
+        before = np.sum(np.abs(x_band) ** 2)
+        after = np.sum(np.abs(prop.forward(x_band)) ** 2)
+        assert after == pytest.approx(before, rel=1e-10)
+
+    def test_forward_adjoint_inverse_roundtrip(self, prop, rng):
+        """adjoint(forward(x)) returns the band-limited part of x."""
+        x = rng.normal(size=(32, 32)) + 1j * rng.normal(size=(32, 32))
+        once = prop.adjoint(prop.forward(x))
+        twice = prop.adjoint(prop.forward(once))
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+    def test_adjoint_identity(self, prop, rng):
+        """<P x, y> == <x, P^H y> — required by the multislice gradient."""
+        x = rng.normal(size=(32, 32)) + 1j * rng.normal(size=(32, 32))
+        y = rng.normal(size=(32, 32)) + 1j * rng.normal(size=(32, 32))
+        assert np.vdot(prop.forward(x), y) == pytest.approx(
+            np.vdot(x, prop.adjoint(y))
+        )
+
+    def test_propagation_spreads_point_source(self, rng):
+        """Free-space propagation spreads a centred point."""
+        p = FresnelPropagator((64, 64), 10.0, 2.508, 50_000.0)
+        x = np.zeros((64, 64), dtype=complex)
+        x[32, 32] = 1.0
+        out = np.abs(p.forward(x)) ** 2
+        assert out[32, 32] < 0.9 * np.abs(x[32, 32]) ** 2
+
+    def test_composition_equals_double_distance(self, rng):
+        """P_dz(P_dz(x)) == P_2dz(x) — the Fresnel semigroup property."""
+        a = FresnelPropagator((32, 32), 10.0, 2.508, 125.0)
+        b = FresnelPropagator((32, 32), 10.0, 2.508, 250.0)
+        x = rng.normal(size=(32, 32)) + 1j * rng.normal(size=(32, 32))
+        np.testing.assert_allclose(
+            a.forward(a.forward(x)), b.forward(x), atol=1e-10
+        )

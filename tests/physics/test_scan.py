@@ -1,0 +1,113 @@
+"""Raster scan patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.physics.scan import RasterScan, ScanSpec, probe_window
+from repro.utils.geometry import Rect
+
+
+class TestScanSpec:
+    def test_n_positions(self):
+        assert ScanSpec(grid=(3, 4), step_px=2.0).n_positions == 12
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"grid": (0, 3), "step_px": 1.0},
+            {"grid": (3, 3), "step_px": 0.0},
+            {"grid": (3, 3), "step_px": 1.0, "margin_px": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ScanSpec(**kwargs)
+
+    def test_from_overlap_step(self):
+        spec = ScanSpec.from_overlap((3, 3), probe_radius_px=10.0, overlap_ratio=0.8)
+        assert spec.step_px == pytest.approx(4.0)  # (1-0.8)*2*10
+
+    def test_from_overlap_zero(self):
+        spec = ScanSpec.from_overlap((2, 2), 10.0, 0.0)
+        assert spec.step_px == pytest.approx(20.0)
+
+    def test_from_overlap_validation(self):
+        with pytest.raises(ValueError):
+            ScanSpec.from_overlap((2, 2), 10.0, 1.0)
+
+    def test_from_overlap_floors_at_one_pixel(self):
+        spec = ScanSpec.from_overlap((2, 2), 0.5, 0.99)
+        assert spec.step_px == 1.0
+
+
+class TestProbeWindow:
+    def test_centered_window(self):
+        w = probe_window(10.0, 10.0, 8)
+        assert w == Rect(6, 14, 6, 14)
+        assert w.shape == (8, 8)
+
+    def test_rounding(self):
+        assert probe_window(10.4, 10.6, 8) == Rect(6, 14, 7, 15)
+
+
+class TestRasterScan:
+    @pytest.fixture(scope="class")
+    def scan(self):
+        return RasterScan(ScanSpec(grid=(3, 4), step_px=5.0), probe_window_px=8)
+
+    def test_raster_time_order(self, scan):
+        """Position i+1 is right of / below position i (paper Fig. 1(b))."""
+        centers = scan.centers
+        for i in range(len(centers) - 1):
+            r0, c0 = centers[i]
+            r1, c1 = centers[i + 1]
+            assert (r1 == r0 and c1 > c0) or (r1 > r0)
+
+    def test_grid_index_roundtrip(self, scan):
+        assert scan.grid_index(0) == (0, 0)
+        assert scan.grid_index(4) == (1, 0)
+        assert scan.grid_index(11) == (2, 3)
+
+    def test_windows_equal_sizes(self, scan):
+        assert all(w.shape == (8, 8) for w in scan.windows)
+
+    def test_windows_non_negative_origin(self, scan):
+        for w in scan:
+            assert w.r0 >= 0 and w.c0 >= 0
+
+    def test_required_fov_contains_all_windows(self, scan):
+        fr, fc = scan.required_fov()
+        bounds = Rect(0, fr, 0, fc)
+        assert all(bounds.contains(w) for w in scan.windows)
+
+    def test_len_and_iter(self, scan):
+        assert len(scan) == 12
+        assert len(list(scan)) == 12
+
+    def test_overlap_ratio(self):
+        scan = RasterScan(ScanSpec(grid=(2, 2), step_px=2.0), probe_window_px=8)
+        assert scan.overlap_ratio() == pytest.approx(0.75)
+
+    def test_overlapping_windows_for_small_steps(self):
+        scan = RasterScan(ScanSpec(grid=(2, 2), step_px=2.0), probe_window_px=8)
+        assert scan.window_of(0).overlaps(scan.window_of(1))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(1, 5),
+        st.integers(1, 5),
+        st.floats(1.0, 10.0),
+        st.integers(4, 16),
+    )
+    def test_neighbour_step_property(self, n_r, n_c, step, window):
+        """Consecutive same-row centers are exactly step apart."""
+        scan = RasterScan(
+            ScanSpec(grid=(n_r, n_c), step_px=step), probe_window_px=window
+        )
+        centers = scan.centers
+        for i in range(scan.n_positions - 1):
+            r, c = scan.grid_index(i)
+            if c + 1 < n_c:
+                assert centers[i + 1][1] - centers[i][1] == pytest.approx(step)
+                assert centers[i + 1][0] == pytest.approx(centers[i][0])

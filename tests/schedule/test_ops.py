@@ -1,0 +1,101 @@
+"""Schedule IR."""
+
+import pytest
+
+from repro.schedule.ops import (
+    AllReduceGradient,
+    ApplyBufferUpdate,
+    Barrier,
+    BufferExchange,
+    ComputeGradients,
+    LocalSolve,
+    ResetBuffer,
+    Schedule,
+    VoxelPaste,
+)
+from repro.utils.geometry import Rect
+
+
+class TestOps:
+    def test_compute_ranks(self):
+        op = ComputeGradients(rank=3, probe_indices=(1, 2))
+        assert op.ranks() == (3,)
+
+    def test_exchange_ranks_and_mode(self):
+        op = BufferExchange(src=0, dst=1, region=Rect(0, 2, 0, 2))
+        assert op.ranks() == (0, 1)
+        assert op.mode == "add"
+        assert op.message_voxels == 4
+
+    def test_exchange_mode_validation(self):
+        with pytest.raises(ValueError):
+            BufferExchange(src=0, dst=1, region=Rect(0, 1, 0, 1), mode="xor")
+
+    def test_collective_ranks(self):
+        assert AllReduceGradient(n_ranks=3).ranks() == (0, 1, 2)
+        assert Barrier(n_ranks=2).ranks() == (0, 1)
+
+
+class TestSchedule:
+    def test_uids_sequential(self):
+        s = Schedule(2)
+        a = s.add(ComputeGradients(rank=0, probe_indices=(0,)))
+        b = s.add(ComputeGradients(rank=1, probe_indices=(1,)))
+        assert (a, b) == (0, 1)
+        assert len(s) == 2
+
+    def test_deps_recorded_and_validated(self):
+        s = Schedule(2)
+        a = s.add(ComputeGradients(rank=0, probe_indices=(0,)))
+        b = s.add(
+            BufferExchange(src=0, dst=1, region=Rect(0, 1, 0, 1)), deps=[a]
+        )
+        assert s[b].deps == [a]
+        s.validate()
+
+    def test_future_dep_rejected(self):
+        s = Schedule(2)
+        with pytest.raises(ValueError):
+            s.add(ComputeGradients(rank=0, probe_indices=(0,)), deps=[5])
+
+    def test_rank_out_of_range_rejected(self):
+        s = Schedule(2)
+        with pytest.raises(ValueError):
+            s.add(ComputeGradients(rank=2, probe_indices=(0,)))
+
+    def test_rank_program_filters_in_order(self):
+        s = Schedule(3)
+        s.add(ComputeGradients(rank=0, probe_indices=(0,)))
+        s.add(BufferExchange(src=0, dst=1, region=Rect(0, 1, 0, 1)))
+        s.add(ComputeGradients(rank=2, probe_indices=(1,)))
+        s.add(ApplyBufferUpdate(rank=0, lr=0.1))
+        program = s.rank_program(0)
+        assert [type(op).__name__ for op in program] == [
+            "ComputeGradients",
+            "BufferExchange",
+            "ApplyBufferUpdate",
+        ]
+
+    def test_counts(self):
+        s = Schedule(2)
+        s.add(ComputeGradients(rank=0, probe_indices=(0,)))
+        s.add(ComputeGradients(rank=1, probe_indices=(1,)))
+        s.add(ResetBuffer(rank=0))
+        assert s.counts() == {"ComputeGradients": 2, "ResetBuffer": 1}
+
+    def test_message_stats(self):
+        s = Schedule(2)
+        s.add(BufferExchange(src=0, dst=1, region=Rect(0, 2, 0, 3)))
+        s.add(VoxelPaste(src=1, dst=0, region=Rect(0, 1, 0, 4)))
+        n, total = s.message_stats(bytes_per_pixel=8.0)
+        assert n == 2
+        assert total == pytest.approx((6 + 4) * 8.0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            Schedule(0)
+
+    def test_local_solve_all_probes(self):
+        op = LocalSolve(rank=1, probe_indices=(5, 6, 7), lr=0.2)
+        assert op.ranks() == (1,)
+        assert len(op.probe_indices) == 3

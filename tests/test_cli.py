@@ -1,0 +1,123 @@
+"""CLI workflow tests (main() called in-process)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import load_dataset, load_result
+
+
+@pytest.fixture()
+def dataset_path(tmp_path):
+    path = tmp_path / "ds.npz"
+    assert (
+        main(
+            [
+                "simulate",
+                "--grid", "4x4",
+                "--detector", "16",
+                "--slices", "2",
+                "--seed", "3",
+                "--out", str(path),
+            ]
+        )
+        == 0
+    )
+    return path
+
+
+class TestSimulate:
+    def test_writes_loadable_dataset(self, dataset_path):
+        dataset = load_dataset(dataset_path)
+        assert dataset.n_probes == 16
+        assert dataset.spec.detector_px == 16
+
+    def test_dose_option(self, tmp_path):
+        clean, noisy = tmp_path / "c.npz", tmp_path / "n.npz"
+        main(["simulate", "--grid", "3x3", "--detector", "16",
+              "--seed", "1", "--out", str(clean)])
+        main(["simulate", "--grid", "3x3", "--detector", "16",
+              "--seed", "1", "--dose", "1e4", "--out", str(noisy)])
+        a, b = load_dataset(clean), load_dataset(noisy)
+        assert not np.allclose(a.amplitudes, b.amplitudes)
+
+    def test_bad_grid_rejected(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--grid", "4by4", "--out", str(tmp_path / "x")])
+
+
+class TestReconstruct:
+    @pytest.mark.parametrize("algorithm", ["gd", "hve", "serial"])
+    def test_algorithms_run(self, dataset_path, tmp_path, algorithm, capsys):
+        out = tmp_path / f"{algorithm}.npz"
+        code = main(
+            [
+                "reconstruct",
+                "--dataset", str(dataset_path),
+                "--algorithm", algorithm,
+                "--ranks", "4",
+                "--iterations", "2",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        result = load_result(out)
+        assert len(result.history) == 2
+        assert result.history[-1] < result.history[0]
+
+    def test_resume(self, dataset_path, tmp_path, capsys):
+        first = tmp_path / "first.npz"
+        second = tmp_path / "second.npz"
+        main(["reconstruct", "--dataset", str(dataset_path),
+              "--iterations", "2", "--out", str(first)])
+        main(["reconstruct", "--dataset", str(dataset_path),
+              "--iterations", "2", "--resume", str(first),
+              "--out", str(second)])
+        a, b = load_result(first), load_result(second)
+        assert b.history[0] < a.history[0]  # warm start pays off
+
+    def test_refine_probe_flag(self, dataset_path, tmp_path, capsys):
+        out = tmp_path / "rp.npz"
+        main(["reconstruct", "--dataset", str(dataset_path),
+              "--iterations", "1", "--refine-probe", "--out", str(out)])
+        assert load_result(out).probe is not None
+
+    def test_numeric_sync_period(self, dataset_path, tmp_path, capsys):
+        out = tmp_path / "t2.npz"
+        code = main(["reconstruct", "--dataset", str(dataset_path),
+                     "--iterations", "1", "--sync-period", "2",
+                     "--out", str(out)])
+        assert code == 0
+
+
+class TestPredict:
+    def test_prints_table(self, capsys):
+        assert main(["predict", "--dataset", "small", "--gpus", "6,24"]) == 0
+        out = capsys.readouterr().out
+        assert "GPUs" in out
+        assert "24" in out
+
+    def test_hve_na(self, capsys):
+        main(["predict", "--dataset", "small", "--algorithm", "hve",
+              "--gpus", "6,126"])
+        assert "NA" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        assert main(["experiment", "--name", "table1"]) == 0
+        assert "pbtio3-small" in capsys.readouterr().out
+
+    def test_fig5(self, capsys):
+        assert main(["experiment", "--name", "fig5"]) == 0
+        assert "GPU 9" in capsys.readouterr().out
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "--name", "fig42"])
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,67 @@
+"""Centered unitary FFT helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.fftutils import fft2c, fftfreq_grid, ifft2c
+
+
+class TestUnitarity:
+    def test_roundtrip(self, rng):
+        x = rng.normal(size=(16, 16)) + 1j * rng.normal(size=(16, 16))
+        np.testing.assert_allclose(ifft2c(fft2c(x)), x, atol=1e-12)
+
+    def test_energy_conservation(self, rng):
+        x = rng.normal(size=(32, 32)) + 1j * rng.normal(size=(32, 32))
+        assert np.sum(np.abs(fft2c(x)) ** 2) == pytest.approx(
+            np.sum(np.abs(x) ** 2)
+        )
+
+    def test_adjoint_identity(self, rng):
+        """<F x, y> == <x, F^H y> with F^H = ifft2c (the property the
+        multislice gradient depends on)."""
+        x = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        y = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        lhs = np.vdot(fft2c(x), y)
+        rhs = np.vdot(x, ifft2c(y))
+        assert lhs == pytest.approx(rhs)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 24), st.integers(2, 24))
+    def test_roundtrip_any_shape(self, rows, cols):
+        rng = np.random.default_rng(rows * 100 + cols)
+        x = rng.normal(size=(rows, cols)) + 1j * rng.normal(size=(rows, cols))
+        np.testing.assert_allclose(ifft2c(fft2c(x)), x, atol=1e-10)
+
+
+class TestCentering:
+    def test_dc_at_center(self):
+        """A constant field transforms to a single centered peak."""
+        n = 16
+        x = np.ones((n, n), dtype=complex)
+        f = fft2c(x)
+        peak = np.unravel_index(np.argmax(np.abs(f)), f.shape)
+        assert peak == (n // 2, n // 2)
+
+    def test_batch_axes(self, rng):
+        x = rng.normal(size=(3, 8, 8)) + 1j * rng.normal(size=(3, 8, 8))
+        batched = fft2c(x)
+        for i in range(3):
+            np.testing.assert_allclose(batched[i], fft2c(x[i]), atol=1e-12)
+
+
+class TestFreqGrid:
+    def test_shapes_broadcast(self):
+        ky, kx = fftfreq_grid((8, 12), 10.0)
+        assert ky.shape == (8, 1)
+        assert kx.shape == (1, 12)
+
+    def test_zero_frequency_centered(self):
+        ky, kx = fftfreq_grid((8, 8), 1.0)
+        assert ky[4, 0] == 0.0
+        assert kx[0, 4] == 0.0
+
+    def test_nyquist_scale(self):
+        ky, _ = fftfreq_grid((8, 8), 2.0)
+        assert np.abs(ky).max() == pytest.approx(0.25)  # 1/(2*pixel)

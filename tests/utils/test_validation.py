@@ -1,0 +1,48 @@
+"""Argument validation helpers."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_positive_int,
+    check_probability,
+    check_shape2d,
+)
+
+
+class TestPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "n") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError, match="n must be positive"):
+            check_positive_int(bad, "n")
+
+    @pytest.mark.parametrize("bad", [1.5, "3", None, True])
+    def test_rejects_non_int(self, bad):
+        with pytest.raises(TypeError):
+            check_positive_int(bad, "n")
+
+
+class TestProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, ok):
+        assert check_probability(ok, "p") == ok
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, 100])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ValueError):
+            check_probability(bad, "p")
+
+
+class TestShape2d:
+    def test_accepts_pair(self):
+        assert check_shape2d((3, 4), "shape") == (3, 4)
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            check_shape2d((1, 2, 3), "shape")
+
+    def test_rejects_non_positive_entries(self):
+        with pytest.raises(ValueError):
+            check_shape2d((0, 4), "shape")
