@@ -4,10 +4,35 @@
 Runs the Gradient Decomposition with the three delayed-accumulation
 settings of the paper's Fig. 9 and prints the cost curves as ASCII plots.
 
+Observing a run
+---------------
+Reconstructors used to take a bare ``callback(iteration, cost, engine)``
+hook; that keyword still works but is deprecated.  The replacement is the
+structured observer API — any callable receiving a
+:class:`repro.api.IterationEvent` can be passed to
+``repro.reconstruct(dataset, config, observers=[...])`` or to any
+reconstructor's ``reconstruct(..., observers=[...])``::
+
+    # before (deprecated):
+    recon.reconstruct(dataset, callback=lambda it, cost, eng: log(it, cost))
+    # after:
+    repro.reconstruct(dataset, config,
+                      observers=[lambda ev: log(ev.iteration, ev.cost)])
+
+Events also carry wall-clock time, message/memory counters, and a lazy
+``snapshot()`` producing a full ReconstructionResult — which is how
+:class:`repro.api.CheckpointPolicy` writes restartable checkpoints every
+N iterations (demonstrated below).
+
 Run:
     python examples/convergence_study.py
 """
 
+import tempfile
+from pathlib import Path
+
+import repro
+from repro import CheckpointPolicy, ReconstructionConfig
 from repro.experiments.fig9 import run_fig9
 
 
@@ -20,7 +45,34 @@ def ascii_curve(history, width=50):
     return "\n".join(lines)
 
 
+def observer_demo() -> None:
+    """A small run watched live and checkpointed every 2 iterations."""
+    spec = repro.scaled_pbtio3_spec(
+        scan_grid=(4, 4), detector_px=16, n_slices=2, overlap_ratio=0.72
+    )
+    dataset = repro.simulate_dataset(spec, seed=5)
+    config = ReconstructionConfig(
+        solver="gd",
+        solver_params={
+            "n_ranks": 4,
+            "iterations": 6,
+            "lr": float(repro.suggest_lr(dataset, alpha=0.35)),
+        },
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoints = CheckpointPolicy(Path(tmp), every=2, config=config)
+        ticker = lambda ev: print(
+            f"  iter {ev.iteration + 1}/{ev.n_iterations}  cost {ev.cost:.4e}"
+        )
+        repro.reconstruct(dataset, config, observers=[ticker, checkpoints])
+        print(f"  checkpoints written: {[p.name for p in checkpoints.saved_paths]}")
+
+
 def main() -> None:
+    print("observer demo (live ticker + CheckpointPolicy every 2 iterations):")
+    observer_demo()
+    print()
+
     print("running Fig. 9 convergence study (3 x 10 iterations, 42 ranks)...")
     result = run_fig9(iterations=10)
     print()

@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
 """Quickstart: simulate a PbTiO3 acquisition and reconstruct it with the
-Gradient Decomposition algorithm (paper Alg. 1) on a virtual 3x3 GPU mesh.
+Gradient Decomposition algorithm (paper Alg. 1) on a virtual 3x3 GPU mesh,
+driven through the config-based ``repro.reconstruct`` API.
 
 Run:
     python examples/quickstart.py
@@ -8,8 +9,9 @@ Run:
 
 import numpy as np
 
+import repro
 from repro import (
-    GradientDecompositionReconstructor,
+    ReconstructionConfig,
     scaled_pbtio3_spec,
     simulate_dataset,
     suggest_lr,
@@ -30,22 +32,40 @@ def main() -> None:
     print(f"  volume:      {spec.object_shape[0]}x{spec.object_shape[1]}x{spec.n_slices}")
     dataset = simulate_dataset(spec, seed=7)
 
-    # 2. Reconstruct on 9 virtual GPUs with the paper's Algorithm 1
-    #    (per-probe local updates + gradient accumulation passes once per
-    #    iteration, APPP planner).
-    lr = suggest_lr(dataset, alpha=0.35)
-    recon = GradientDecompositionReconstructor(
-        n_ranks=9,
-        iterations=10,
-        lr=lr,
-        mode="alg1",
-        sync_period="iteration",
-        planner="appp",
-        compensate_local=True,
+    # 2. Describe the run as a config: the paper's Algorithm 1 ("gd" in
+    #    the solver registry; "hve" and "serial" are the baselines) on 9
+    #    virtual GPUs, per-probe local updates + gradient accumulation
+    #    passes once per iteration, APPP planner.  The config is plain
+    #    JSON — print it, save it, replay it, or run it from the CLI with
+    #    `repro-ptycho reconstruct --config run.json`.
+    config = ReconstructionConfig(
+        solver="gd",
+        solver_params={
+            "n_ranks": 9,
+            "iterations": 10,
+            "lr": float(suggest_lr(dataset, alpha=0.35)),
+            "mode": "alg1",
+            "sync_period": "iteration",
+            "planner": "appp",
+            "compensate_local": True,
+        },
     )
-    result = recon.reconstruct(dataset)
+    print(f"\nconfig:\n{config.to_json()}\n")
 
-    # 3. Report.
+    # 3. One call runs any registered solver; the observer watches each
+    #    iteration live (see repro.api.IterationEvent for all fields).
+    result = repro.reconstruct(
+        dataset,
+        config,
+        observers=[
+            lambda ev: print(
+                f"  [live] iter {ev.iteration + 1}/{ev.n_iterations}  "
+                f"cost {ev.cost:.4e}  ({ev.elapsed_s:.2f}s)"
+            )
+        ],
+    )
+
+    # 4. Report.
     print("\nconvergence (sum of squared amplitude residuals):")
     for it, cost in enumerate(result.history):
         bar = "#" * max(1, int(40 * cost / result.history[0]))

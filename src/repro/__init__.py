@@ -3,13 +3,21 @@ Memory-Efficient Ptychographic Reconstruction" (SC 2022).
 
 Public API highlights
 ---------------------
+Config-driven reconstruction (the recommended entry point):
+    :func:`repro.reconstruct` runs any registered solver from a
+    :class:`repro.api.ReconstructionConfig`; solvers ``"gd"``, ``"hve"``
+    and ``"serial"`` ship registered, and third parties add their own
+    with :func:`repro.api.register_solver`.  Per-iteration observation
+    goes through :class:`repro.api.IterationEvent` observers
+    (:class:`repro.api.CheckpointPolicy` snapshots runs to disk).
+
 Physics / data:
     :func:`repro.physics.simulate_dataset`,
     :func:`repro.physics.scaled_pbtio3_spec`,
     :func:`repro.physics.small_pbtio3_spec`,
     :func:`repro.physics.large_pbtio3_spec`
 
-Reconstructors:
+Reconstructor classes (what the registry adapters wrap):
     :class:`repro.core.GradientDecompositionReconstructor` (the paper's
     Algorithm 1), :class:`repro.baseline.HaloExchangeReconstructor` (the
     state-of-the-art baseline), :class:`repro.baseline.SerialReconstructor`
@@ -20,12 +28,13 @@ Scale/performance models (Tables II/III, Fig. 7):
     :class:`repro.perfmodel.PerformancePredictor`
 
 Experiments (one per paper table/figure):
-    :mod:`repro.experiments` — ``run_table1`` .. ``run_fig9``
+    :mod:`repro.experiments` — ``run_table1`` .. ``run_fig9``, all
+    reachable through :data:`repro.experiments.EXPERIMENTS`
 
-See README.md for a quickstart and DESIGN.md for the system inventory.
+See README.md for a quickstart built on ``repro.reconstruct``.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro import utils  # noqa: F401  (re-exported subpackages)
 from repro import physics  # noqa: F401
@@ -35,6 +44,8 @@ from repro import core  # noqa: F401
 from repro import baseline  # noqa: F401
 from repro import perfmodel  # noqa: F401
 from repro import metrics  # noqa: F401
+from repro import io  # noqa: F401
+from repro import api  # noqa: F401
 from repro import experiments  # noqa: F401
 
 from repro.core import GradientDecompositionReconstructor, ReconstructionResult
@@ -47,6 +58,15 @@ from repro.physics import (
 )
 from repro.physics.dataset import suggest_lr
 from repro.perfmodel import PerformancePredictor, MachineSpec, SUMMIT
+from repro.api import (
+    CheckpointPolicy,
+    IterationEvent,
+    ReconstructionConfig,
+    reconstruct,
+    register_solver,
+    solver_from_config,
+    solver_names,
+)
 
 __all__ = [
     "__version__",
@@ -58,6 +78,8 @@ __all__ = [
     "baseline",
     "perfmodel",
     "metrics",
+    "io",
+    "api",
     "experiments",
     "GradientDecompositionReconstructor",
     "ReconstructionResult",
@@ -71,4 +93,11 @@ __all__ = [
     "PerformancePredictor",
     "MachineSpec",
     "SUMMIT",
+    "reconstruct",
+    "ReconstructionConfig",
+    "register_solver",
+    "solver_from_config",
+    "solver_names",
+    "IterationEvent",
+    "CheckpointPolicy",
 ]

@@ -1,0 +1,151 @@
+"""Declarative reconstruction configuration.
+
+A :class:`ReconstructionConfig` is the serializable description of a
+reconstruction run: *which* solver (a registry name, see
+:mod:`repro.api.registry`), the solver's constructor parameters, and
+run-level parameters applied at ``reconstruct()`` time.  It is frozen,
+validated at construction, and round-trips losslessly through
+``to_dict``/``from_dict`` and ``to_json``/``from_json`` — which is what
+lets the CLI embed the resolved config inside every saved result archive
+and replay it bit-for-bit later.
+
+Values must be JSON-native (``None``/bool/int/float/str, lists, dicts
+with string keys).  Tuples are normalized to lists at construction so a
+config compares equal to its JSON round-trip.  Non-serializable objects
+(arrays, mesh layouts, ...) are rejected with a pointed error; solvers
+that need structured values accept their JSON spelling instead (e.g. the
+``"gd"`` solver takes ``"mesh": [rows, cols]``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Dict, Mapping
+
+__all__ = ["ReconstructionConfig"]
+
+_CONFIG_KEYS = ("solver", "solver_params", "run_params")
+
+
+def _normalize(value: Any, where: str) -> Any:
+    """Deep-copy ``value`` into JSON-native types or raise ``TypeError``."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_normalize(v, f"{where}[{i}]") for i, v in enumerate(value)]
+    if isinstance(value, Mapping):
+        return _normalize_mapping(value, where)
+    raise TypeError(
+        f"{where}: {type(value).__name__} is not JSON-serializable; "
+        "configs hold only None/bool/int/float/str, lists, and dicts "
+        "with string keys"
+    )
+
+
+def _normalize_mapping(mapping: Mapping, where: str) -> Dict[str, Any]:
+    if not isinstance(mapping, Mapping):
+        raise TypeError(f"{where} must be a mapping, got {type(mapping).__name__}")
+    out: Dict[str, Any] = {}
+    for key, value in mapping.items():
+        if not isinstance(key, str):
+            raise TypeError(f"{where} keys must be strings, got {key!r}")
+        out[key] = _normalize(value, f"{where}[{key!r}]")
+    return out
+
+
+@dataclass(frozen=True)
+class ReconstructionConfig:
+    """Frozen, JSON-round-trippable description of a reconstruction.
+
+    Attributes
+    ----------
+    solver:
+        Registry name of the solver (``"gd"``, ``"hve"``, ``"serial"``,
+        or any third-party :func:`~repro.api.registry.register_solver`
+        registration).
+    solver_params:
+        Keyword arguments for the solver's constructor (e.g.
+        ``{"n_ranks": 9, "iterations": 10, "lr": 0.02}``).
+    run_params:
+        Parameters applied by :func:`repro.api.reconstruct` at run time,
+        independent of the solver — currently ``{"resume": "path.npz"}``
+        to warm-start from a saved result archive.
+    """
+
+    solver: str
+    solver_params: Mapping[str, Any] = field(default_factory=dict)
+    run_params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.solver, str) or not self.solver:
+            raise ValueError("solver must be a non-empty string")
+        object.__setattr__(
+            self,
+            "solver_params",
+            MappingProxyType(_normalize_mapping(self.solver_params, "solver_params")),
+        )
+        object.__setattr__(
+            self,
+            "run_params",
+            MappingProxyType(_normalize_mapping(self.run_params, "run_params")),
+        )
+
+    def __hash__(self) -> int:
+        # The dataclass-generated hash would choke on the mapping-proxy
+        # fields; the canonical JSON form (sorted keys) is a faithful
+        # stand-in — equal configs serialize identically.
+        return hash(self.to_json())
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (deep-copied; safe to mutate)."""
+        return {
+            "solver": self.solver,
+            "solver_params": _normalize_mapping(self.solver_params, "solver_params"),
+            "run_params": _normalize_mapping(self.run_params, "run_params"),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ReconstructionConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are an error."""
+        if not isinstance(payload, Mapping):
+            raise TypeError(
+                f"config payload must be a mapping, got {type(payload).__name__}"
+            )
+        unknown = set(payload) - set(_CONFIG_KEYS)
+        if unknown:
+            raise ValueError(
+                f"unknown config keys {sorted(unknown)}; "
+                f"expected a subset of {list(_CONFIG_KEYS)}"
+            )
+        if "solver" not in payload:
+            raise ValueError("config payload is missing the 'solver' key")
+        return cls(
+            solver=payload["solver"],
+            solver_params=payload.get("solver_params", {}),
+            run_params=payload.get("run_params", {}),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON text form (lossless; see module docstring)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ReconstructionConfig":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    # -- derivation ----------------------------------------------------
+    def with_solver_params(self, **updates: Any) -> "ReconstructionConfig":
+        """New config with ``solver_params`` keys merged/overridden."""
+        merged = dict(self.solver_params)
+        merged.update(updates)
+        return ReconstructionConfig(self.solver, merged, self.run_params)
+
+    def with_run_params(self, **updates: Any) -> "ReconstructionConfig":
+        """New config with ``run_params`` keys merged/overridden."""
+        merged = dict(self.run_params)
+        merged.update(updates)
+        return ReconstructionConfig(self.solver, self.solver_params, merged)

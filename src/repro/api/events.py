@@ -1,0 +1,116 @@
+"""Stateful observers built on the iteration-event stream.
+
+:class:`~repro.core.observers.IterationEvent` and the observer calling
+convention live in :mod:`repro.core.observers` (re-exported here and at
+the package top level); this module adds observers that need the I/O
+layer, chiefly periodic checkpointing through :mod:`repro.io.storage`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.api.config import ReconstructionConfig
+from repro.core.observers import IterationEvent, Observer, dispatch
+from repro.io.storage import save_result
+
+__all__ = [
+    "IterationEvent",
+    "Observer",
+    "dispatch",
+    "CheckpointPolicy",
+    "HistoryRecorder",
+]
+
+
+class CheckpointPolicy:
+    """Observer that snapshots the run to disk every ``every`` iterations.
+
+    Checkpoints are full result archives written through
+    :func:`repro.io.storage.save_result`, so any of them can seed a
+    restart via ``run_params={"resume": path}`` (or the CLI's
+    ``--resume``).  Pass the run's config to embed it in every
+    checkpoint for provenance.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints land (created on first write).
+    every:
+        Checkpoint cadence in iterations; the count is 1-based, so
+        ``every=2`` writes after iterations 2, 4, 6, ...
+    prefix:
+        Archive filename prefix (``<prefix>_iter0004.npz``).
+    config:
+        Optional :class:`~repro.api.config.ReconstructionConfig` embedded
+        in each checkpoint archive.
+    keep_last:
+        If set, only the newest ``keep_last`` checkpoints are kept on
+        disk (older ones are deleted after each write).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        every: int = 1,
+        prefix: str = "checkpoint",
+        config: Optional[ReconstructionConfig] = None,
+        keep_last: Optional[int] = None,
+    ) -> None:
+        if every <= 0:
+            raise ValueError("every must be positive")
+        if keep_last is not None and keep_last <= 0:
+            raise ValueError("keep_last must be positive")
+        self.directory = Path(directory)
+        self.every = every
+        self.prefix = prefix
+        self.config = config
+        self.keep_last = keep_last
+        #: Paths written so far, oldest first (pruned ones removed).
+        self.saved_paths: List[Path] = []
+
+    def __call__(self, event: IterationEvent) -> None:
+        if (event.iteration + 1) % self.every != 0:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / (
+            f"{self.prefix}_iter{event.iteration + 1:04d}.npz"
+        )
+        save_result(path, event.snapshot(), config=self.config)
+        self.saved_paths.append(path)
+        if self.keep_last is not None:
+            while len(self.saved_paths) > self.keep_last:
+                stale = self.saved_paths.pop(0)
+                stale.unlink(missing_ok=True)
+
+    @property
+    def latest(self) -> Optional[Path]:
+        """Newest checkpoint on disk, or None before the first write."""
+        return self.saved_paths[-1] if self.saved_paths else None
+
+
+class HistoryRecorder:
+    """Observer that accumulates every event — the list-append idiom as a
+    named class, handy for tests and notebooks::
+
+        rec = HistoryRecorder()
+        repro.reconstruct(dataset, config, observers=[rec])
+        rec.events[-1].cost
+
+    Note each event's lazy ``snapshot`` thunk keeps the run's engine
+    state (per-rank volumes etc.) alive for as long as the event is
+    retained; after a large run, keep the scalars you need (e.g.
+    :attr:`costs`) and drop the recorder rather than holding it.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[IterationEvent] = []
+
+    def __call__(self, event: IterationEvent) -> None:
+        self.events.append(event)
+
+    @property
+    def costs(self) -> List[float]:
+        """Cost curve seen so far."""
+        return [e.cost for e in self.events]

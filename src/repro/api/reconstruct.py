@@ -1,0 +1,82 @@
+"""The single entry point every solver runs through.
+
+``repro.reconstruct(dataset, config)`` resolves the config's solver name
+through the registry, instantiates it with the config's
+``solver_params``, applies the run-level parameters (currently
+``resume``), and executes — one code path for the paper's Algorithm 1,
+the halo-exchange baseline, the serial reference, and any third-party
+registration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.api.config import ReconstructionConfig
+from repro.api.registry import solver_from_config
+from repro.core.observers import Observer
+from repro.core.reconstructor import ReconstructionResult
+from repro.io.storage import load_result
+from repro.physics.dataset import PtychoDataset
+
+__all__ = ["reconstruct", "RUN_PARAM_KEYS"]
+
+#: run_params keys :func:`reconstruct` understands.
+RUN_PARAM_KEYS = frozenset({"resume"})
+
+
+def reconstruct(
+    dataset: PtychoDataset,
+    config: Union[ReconstructionConfig, Mapping[str, Any]],
+    observers: Sequence[Observer] = (),
+    *,
+    initial_probe: Optional[np.ndarray] = None,
+    initial_volume: Optional[np.ndarray] = None,
+) -> ReconstructionResult:
+    """Run the reconstruction a config describes.
+
+    Parameters
+    ----------
+    dataset:
+        The acquisition to reconstruct.
+    config:
+        A :class:`~repro.api.config.ReconstructionConfig` (or its
+        ``to_dict`` form, converted on the fly).
+    observers:
+        Callables receiving one
+        :class:`~repro.core.observers.IterationEvent` per iteration.
+    initial_probe / initial_volume:
+        In-memory starting state, forwarded to the solver.  Arrays do
+        not belong in configs; for an on-disk warm start use
+        ``run_params={"resume": "result.npz"}`` instead (an explicit
+        ``initial_volume`` argument wins over ``resume``).
+
+    Raises
+    ------
+    UnknownSolverError
+        Config names a solver that is not registered.
+    SolverCapabilityError
+        Config asks the solver for something it cannot do.
+    ValueError
+        Unknown ``run_params`` key.
+    """
+    if not isinstance(config, ReconstructionConfig):
+        config = ReconstructionConfig.from_dict(config)
+    unknown = set(config.run_params) - RUN_PARAM_KEYS
+    if unknown:
+        raise ValueError(
+            f"unknown run_params key(s) {sorted(unknown)}; "
+            f"supported: {sorted(RUN_PARAM_KEYS)}"
+        )
+    solver = solver_from_config(config)
+    resume = config.run_params.get("resume")
+    if initial_volume is None and resume is not None:
+        initial_volume = load_result(resume).volume
+    return solver.reconstruct(
+        dataset,
+        observers=observers,
+        initial_probe=initial_probe,
+        initial_volume=initial_volume,
+    )

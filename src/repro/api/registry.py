@@ -1,0 +1,141 @@
+"""The solver registry: one namespace, one dispatch path.
+
+Solvers register under a short name with :func:`register_solver`; every
+entry point (``repro.reconstruct``, the CLI's ``--algorithm`` choices,
+config files) resolves names through this module, so adding a solver —
+first-party or third-party — requires no edits to any dispatch code::
+
+    from repro.api import register_solver
+
+    @register_solver("my-solver")
+    class MySolver:
+        accepted_params = frozenset({"iterations"})
+        def __init__(self, iterations=10): ...
+        def reconstruct(self, dataset, *, observers=(), initial_probe=None,
+                        initial_volume=None): ...
+
+A registered class must be constructible from a config's
+``solver_params`` mapping (``cls(**params)``) and implement the
+:class:`Solver` protocol.  The three paper solvers are registered by
+:mod:`repro.api.solvers`.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Protocol,
+    Type,
+    runtime_checkable,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api.config import ReconstructionConfig
+    from repro.core.reconstructor import ReconstructionResult
+
+__all__ = [
+    "Solver",
+    "UnknownSolverError",
+    "SolverCapabilityError",
+    "register_solver",
+    "unregister_solver",
+    "solver_names",
+    "get_solver",
+    "solver_from_config",
+]
+
+
+class UnknownSolverError(ValueError):
+    """Raised when a solver name is not in the registry; the message
+    always lists what *is* registered."""
+
+
+class SolverCapabilityError(ValueError):
+    """Raised when a solver is asked for a parameter or feature it does
+    not support (e.g. probe refinement with the halo-exchange baseline),
+    instead of silently dropping the request."""
+
+
+@runtime_checkable
+class Solver(Protocol):
+    """Structural interface every registered solver satisfies."""
+
+    def reconstruct(
+        self,
+        dataset,
+        *,
+        observers=(),
+        initial_probe=None,
+        initial_volume=None,
+    ) -> "ReconstructionResult":
+        """Run the reconstruction, emitting one
+        :class:`~repro.core.observers.IterationEvent` per iteration to
+        each observer."""
+        ...
+
+
+_REGISTRY: Dict[str, type] = {}
+
+
+def register_solver(
+    name: str, *, overwrite: bool = False
+) -> Callable[[type], type]:
+    """Class decorator registering a solver under ``name``.
+
+    Re-registering an existing name raises unless ``overwrite=True`` (a
+    deliberate escape hatch for third parties shadowing a built-in).
+    The class gains a ``solver_name`` attribute set to ``name``.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError("solver name must be a non-empty string")
+
+    def decorator(cls: type) -> type:
+        if not callable(getattr(cls, "reconstruct", None)):
+            raise TypeError(
+                f"cannot register {cls.__name__!r}: solvers must define a "
+                "reconstruct(dataset, *, observers=..., ...) method"
+            )
+        if name in _REGISTRY and not overwrite:
+            raise ValueError(
+                f"solver {name!r} is already registered "
+                f"(by {_REGISTRY[name].__name__}); pass overwrite=True to replace"
+            )
+        cls.solver_name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def unregister_solver(name: str) -> None:
+    """Remove a registration (mainly for tests and plugin teardown)."""
+    if name not in _REGISTRY:
+        raise UnknownSolverError(_unknown_message(name))
+    del _REGISTRY[name]
+
+
+def solver_names() -> List[str]:
+    """Sorted names of all registered solvers."""
+    return sorted(_REGISTRY)
+
+
+def get_solver(name: str) -> Type:
+    """The solver class registered under ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownSolverError(_unknown_message(name)) from None
+
+
+def solver_from_config(config: "ReconstructionConfig") -> Solver:
+    """Instantiate the solver a config names, with its ``solver_params``."""
+    cls = get_solver(config.solver)
+    return cls(**dict(config.solver_params))
+
+
+def _unknown_message(name: str) -> str:
+    registered = ", ".join(solver_names()) or "(none)"
+    return f"unknown solver {name!r}; registered solvers: {registered}"

@@ -22,7 +22,7 @@ Table II(b)).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -31,6 +31,11 @@ from repro.core.decomposition import (
     decompose_halo_exchange,
 )
 from repro.core.engine import NumericEngine
+from repro.core.observers import (
+    IterationEmitter,
+    Observer,
+    warn_legacy_callback,
+)
 from repro.core.reconstructor import ReconstructionResult
 from repro.core.stitching import stitch
 from repro.parallel.topology import MeshLayout
@@ -155,29 +160,67 @@ class HaloExchangeReconstructor:
         self,
         dataset: PtychoDataset,
         callback: Optional[Callable[[int, float, NumericEngine], None]] = None,
+        initial_volume: Optional[np.ndarray] = None,
+        *,
+        observers: Sequence[Observer] = (),
     ) -> ReconstructionResult:
-        """Run the full reconstruction."""
+        """Run the full reconstruction.
+
+        Parameters
+        ----------
+        dataset:
+            The acquisition.
+        observers:
+            Per-iteration hooks, each receiving a structured
+            :class:`~repro.core.observers.IterationEvent` (see that
+            module for the ``callback`` → observer migration).
+        callback:
+            **Deprecated** pre-observer hook ``callback(iteration, cost,
+            engine)``; still honoured, with a :class:`DeprecationWarning`.
+        initial_volume:
+            Warm-start volume (checkpoint restart); defaults to vacuum.
+            Probe refinement is *not* available for this baseline — the
+            registry adapter rejects it explicitly.
+        """
+        if callback is not None:
+            warn_legacy_callback(type(self).__name__)
         decomp = self.decompose(dataset)
-        engine = NumericEngine(dataset, decomp, lr=self.lr)
+        engine = NumericEngine(
+            dataset, decomp, lr=self.lr, initial_volume=initial_volume
+        )
         schedule = self.build_iteration_schedule(decomp)
 
+        def result_snapshot(history: List[float]) -> ReconstructionResult:
+            return ReconstructionResult(
+                volume=stitch(decomp, engine.volumes(), dataset.n_slices),
+                history=list(history),
+                messages=engine.comm.sent_messages,
+                message_bytes=int(engine.comm.sent_bytes),
+                peak_memory_per_rank=engine.memory.per_rank_peaks(),
+                decomposition=decomp,
+            )
+
         history: List[float] = []
+        emitter = IterationEmitter("hve", self.iterations, observers)
         for it in range(self.iterations):
             engine.execute(schedule)
             cost = engine.iteration_cost()
             history.append(cost)
             if callback is not None:
                 callback(it, cost, engine)
+            emitter.emit(
+                it,
+                cost,
+                messages=engine.comm.sent_messages,
+                message_bytes=int(engine.comm.sent_bytes),
+                peak_memory_bytes=float(
+                    np.mean(engine.memory.per_rank_peaks())
+                ),
+                # Live state at call time; see reconstructor.py.
+                snapshot=lambda: result_snapshot(list(history)),
+            )
 
-        volume = stitch(decomp, engine.volumes(), dataset.n_slices)
-        return ReconstructionResult(
-            volume=volume,
-            history=history,
-            messages=engine.comm.sent_messages,
-            message_bytes=int(engine.comm.sent_bytes),
-            peak_memory_per_rank=engine.memory.per_rank_peaks(),
-            decomposition=decomp,
-        )
+        return result_snapshot(history)
 
     # ------------------------------------------------------------------
     def redundancy_factor(self, decomp: Decomposition) -> float:

@@ -13,12 +13,17 @@ Two update schemes:
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.reconstructor import ReconstructionResult
 from repro.core.decomposition import decompose_gradient
+from repro.core.observers import (
+    IterationEmitter,
+    Observer,
+    warn_legacy_callback,
+)
 from repro.physics.dataset import PtychoDataset
 
 __all__ = ["SerialReconstructor"]
@@ -64,8 +69,20 @@ class SerialReconstructor:
         callback: Optional[Callable[[int, float, np.ndarray], None]] = None,
         initial_probe: Optional[np.ndarray] = None,
         initial_volume: Optional[np.ndarray] = None,
+        *,
+        observers: Sequence[Observer] = (),
     ) -> ReconstructionResult:
-        """Run the reconstruction; see :class:`ReconstructionResult`."""
+        """Run the reconstruction; see :class:`ReconstructionResult`.
+
+        ``observers`` receive one structured
+        :class:`~repro.core.observers.IterationEvent` per iteration;
+        ``callback(iteration, cost, volume)`` is the **deprecated**
+        pre-observer hook, still honoured with a
+        :class:`DeprecationWarning` (see :mod:`repro.core.observers` for
+        the migration recipe).
+        """
+        if callback is not None:
+            warn_legacy_callback(type(self).__name__)
         model = dataset.multislice_model()
         probe = (
             np.asarray(initial_probe, dtype=np.complex128).copy()
@@ -87,7 +104,28 @@ class SerialReconstructor:
             else 0.5 / max(dataset.n_probes, 1)
         )
 
+        # A serial run is the 1-rank decomposition; report it as such so
+        # downstream consumers (metrics, experiments) see a uniform shape.
+        decomp = decompose_gradient(
+            dataset.scan, dataset.object_shape, n_ranks=1, halo="exact"
+        )
+        peak_bytes = int(
+            volume.nbytes + gradient.nbytes + dataset.amplitudes.nbytes
+        )
+
+        def result_snapshot(history: List[float]) -> ReconstructionResult:
+            return ReconstructionResult(
+                volume=volume.copy(),
+                history=list(history),
+                messages=0,
+                message_bytes=0,
+                peak_memory_per_rank=[peak_bytes],
+                decomposition=decomp,
+                probe=probe.copy() if self.refine_probe else None,
+            )
+
         history: List[float] = []
+        emitter = IterationEmitter("serial", self.iterations, observers)
         for it in range(self.iterations):
             cost = 0.0
             if self.scheme == "batch":
@@ -114,23 +152,17 @@ class SerialReconstructor:
             history.append(cost)
             if callback is not None:
                 callback(it, cost, volume)
+            emitter.emit(
+                it,
+                cost,
+                messages=0,
+                message_bytes=0,
+                peak_memory_bytes=float(peak_bytes),
+                # Live state at call time; see reconstructor.py.
+                snapshot=lambda: result_snapshot(list(history)),
+            )
 
-        # A serial run is the 1-rank decomposition; report it as such so
-        # downstream consumers (metrics, experiments) see a uniform shape.
-        decomp = decompose_gradient(
-            dataset.scan, dataset.object_shape, n_ranks=1, halo="exact"
-        )
-        return ReconstructionResult(
-            volume=volume,
-            history=history,
-            messages=0,
-            message_bytes=0,
-            peak_memory_per_rank=[
-                int(volume.nbytes + gradient.nbytes + dataset.amplitudes.nbytes)
-            ],
-            decomposition=decomp,
-            probe=probe.copy() if self.refine_probe else None,
-        )
+        return result_snapshot(history)
 
     # ------------------------------------------------------------------
     def evaluate_cost(

@@ -7,8 +7,16 @@ Four subcommands cover the simulate -> reconstruct -> analyze workflow:
     repro-ptycho simulate  --grid 8x8 --detector 24 --slices 2 --out ds.npz
     repro-ptycho reconstruct --dataset ds.npz --ranks 9 --iterations 10 \
         --out rec.npz
+    repro-ptycho reconstruct --dataset ds.npz --config run.json --out rec.npz
     repro-ptycho predict   --dataset large --algorithm gd --gpus 6,54,462
     repro-ptycho experiment --name table1
+
+Reconstruction dispatches through the :mod:`repro.api` solver registry:
+``--algorithm`` choices are whatever is registered (third-party solvers
+included), ``--config`` runs a serialized
+:class:`~repro.api.ReconstructionConfig` verbatim, and the resolved
+config is embedded in the saved result archive — ``load_result(out).config``
+replays the run exactly.
 
 (Also runnable as ``python -m repro.cli ...``.)
 """
@@ -17,11 +25,51 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api import solver_names
+from repro.experiments import experiment_names
+
 __all__ = ["main", "build_parser"]
+
+#: One row per reconstruct solver flag: (config key, CLI flag, default).
+#: The single source shared by build_parser, the config builder, and the
+#: --config clash check.  A flag left at its default is simply omitted
+#: from the config when the chosen solver does not accept it; an
+#: explicitly-set flag the solver cannot honour is an error (never
+#: silently dropped).  --lr's None default means "auto-resolve".
+_REC_FLAG_SPECS = (
+    ("n_ranks", "--ranks", 4),
+    ("iterations", "--iterations", 10),
+    ("lr", "--lr", None),
+    ("mode", "--mode", "alg1"),
+    ("planner", "--planner", "appp"),
+    ("sync_period", "--sync-period", "iteration"),
+    ("refine_probe", "--refine-probe", False),
+)
+_REC_DEFAULTS: Dict[str, object] = {
+    key: default for key, _, default in _REC_FLAG_SPECS
+}
+
+
+def _solver_flag_values(args) -> List[tuple]:
+    """``(key, flag, value, explicit)`` per solver flag; ``explicit``
+    means the user moved the flag off its default."""
+    values = {
+        "n_ranks": args.ranks,
+        "iterations": args.iterations,
+        "lr": args.lr,
+        "mode": args.mode,
+        "planner": args.planner,
+        "sync_period": args.sync_period,
+        "refine_probe": args.refine_probe,
+    }
+    return [
+        (key, flag, values[key], values[key] != default)
+        for key, flag, default in _REC_FLAG_SPECS
+    ]
 
 
 def _parse_grid(text: str) -> tuple:
@@ -56,18 +104,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     rec = sub.add_parser("reconstruct", help="reconstruct an acquisition")
     rec.add_argument("--dataset", required=True)
-    rec.add_argument("--ranks", type=int, default=4)
-    rec.add_argument("--iterations", type=int, default=10)
+    rec.add_argument("--config", default=None,
+                     help="JSON ReconstructionConfig file; replaces the "
+                          "algorithm/solver flags below")
+    rec.add_argument("--ranks", type=int, default=_REC_DEFAULTS["n_ranks"])
+    rec.add_argument("--iterations", type=int,
+                     default=_REC_DEFAULTS["iterations"])
     rec.add_argument("--lr", type=float, default=None,
                      help="step size (auto-preconditioned if omitted)")
-    rec.add_argument("--mode", choices=["alg1", "synchronous"], default="alg1")
+    rec.add_argument("--mode", choices=["alg1", "synchronous"],
+                     default=_REC_DEFAULTS["mode"])
     rec.add_argument(
         "--planner",
         choices=["appp", "barrier", "allreduce", "neighbor"],
-        default="appp",
+        default=_REC_DEFAULTS["planner"],
     )
-    rec.add_argument("--sync-period", default="iteration")
-    rec.add_argument("--algorithm", choices=["gd", "hve", "serial"], default="gd")
+    rec.add_argument("--sync-period", default=_REC_DEFAULTS["sync_period"])
+    rec.add_argument("--algorithm", choices=solver_names(), default="gd")
     rec.add_argument("--refine-probe", action="store_true")
     rec.add_argument("--resume", default=None,
                      help="warm-start from a saved result archive")
@@ -85,12 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     exp = sub.add_parser("experiment", help="regenerate a paper artifact")
-    exp.add_argument(
-        "--name",
-        required=True,
-        choices=["table1", "table2", "table3", "fig5", "fig6", "fig7a",
-                 "fig7b", "fig8", "fig9"],
-    )
+    exp.add_argument("--name", required=True, choices=experiment_names())
     return parser
 
 
@@ -114,49 +162,96 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
-def _cmd_reconstruct(args) -> int:
-    from repro.baseline import HaloExchangeReconstructor, SerialReconstructor
-    from repro.core import GradientDecompositionReconstructor
-    from repro.io import load_dataset, load_result, save_result
+def _config_from_flags(args, dataset) -> "ReconstructionConfig":
+    """Translate reconstruct flags into a config for the chosen solver.
+
+    Flags the solver accepts go into ``solver_params``; a flag left at
+    its default is dropped silently, but an *explicitly set* flag the
+    solver cannot honour is a hard error (the historical CLI silently
+    dropped ``--refine-probe``/``--resume`` for ``hve``).
+    """
+    from repro.api import ReconstructionConfig, get_solver
+    from repro.api.registry import SolverCapabilityError
     from repro.physics.dataset import suggest_lr
 
+    accepted = get_solver(args.algorithm).accepted_params
+    params = {}
+    for key, flag, value, explicit in _solver_flag_values(args):
+        if key == "lr":
+            value = float(
+                value if value is not None
+                else suggest_lr(dataset, alpha=0.35)
+            )
+        elif key == "sync_period" and isinstance(value, str) and value.isdigit():
+            value = int(value)
+        if key in accepted:
+            params[key] = value
+        elif explicit:
+            raise SolverCapabilityError(
+                f"{flag} is not supported by solver "
+                f"{args.algorithm!r} (accepted parameters: "
+                f"{', '.join(sorted(accepted))})"
+            )
+    run_params = {"resume": args.resume} if args.resume is not None else {}
+    return ReconstructionConfig(
+        solver=args.algorithm, solver_params=params, run_params=run_params
+    )
+
+
+def _explicit_solver_flags(args) -> List[str]:
+    """Solver flags the user set away from their defaults (so a run
+    driven by ``--config`` can reject them instead of silently ignoring
+    them)."""
+    flags = ["--algorithm"] if args.algorithm != "gd" else []
+    flags.extend(
+        flag for _, flag, _, explicit in _solver_flag_values(args) if explicit
+    )
+    return flags
+
+
+def _cmd_reconstruct(args) -> int:
+    from pathlib import Path
+
+    from repro.api import ReconstructionConfig, reconstruct
+    from repro.api.registry import SolverCapabilityError, UnknownSolverError
+    from repro.io import load_dataset, save_result
+
     dataset = load_dataset(args.dataset)
-    lr = args.lr if args.lr is not None else suggest_lr(dataset, alpha=0.35)
-    initial_volume = None
-    if args.resume is not None:
-        initial_volume = load_result(args.resume).volume
-        print(f"resuming from {args.resume}")
+    try:
+        if args.config is not None:
+            clashing = _explicit_solver_flags(args)
+            if clashing:
+                print(f"reconstruct: error: --config replaces the solver "
+                      f"flags; remove {', '.join(clashing)} or drop "
+                      f"--config", file=sys.stderr)
+                return 2
+            try:
+                config_text = Path(args.config).read_text()
+            except OSError as exc:
+                print(f"reconstruct: error: cannot read --config "
+                      f"{args.config}: {exc}", file=sys.stderr)
+                return 2
+            config = ReconstructionConfig.from_json(config_text)
+            if args.resume is not None:
+                config = config.with_run_params(resume=args.resume)
+        else:
+            config = _config_from_flags(args, dataset)
+        resume = config.run_params.get("resume")
+        if resume is not None:
+            print(f"resuming from {resume}")
+        result = reconstruct(dataset, config)
+    except (UnknownSolverError, SolverCapabilityError, ValueError,
+            TypeError) as exc:
+        print(f"reconstruct: error: {exc}", file=sys.stderr)
+        return 2
 
-    if args.algorithm == "serial":
-        recon = SerialReconstructor(iterations=args.iterations, lr=lr,
-                                    refine_probe=args.refine_probe)
-        result = recon.reconstruct(dataset, initial_volume=initial_volume)
-    elif args.algorithm == "hve":
-        recon = HaloExchangeReconstructor(
-            n_ranks=args.ranks, iterations=args.iterations, lr=lr
-        )
-        result = recon.reconstruct(dataset)
-    else:
-        period = args.sync_period
-        if isinstance(period, str) and period.isdigit():
-            period = int(period)
-        recon = GradientDecompositionReconstructor(
-            n_ranks=args.ranks,
-            iterations=args.iterations,
-            lr=lr,
-            mode=args.mode,
-            planner=args.planner,
-            sync_period=period,
-            refine_probe=args.refine_probe,
-        )
-        result = recon.reconstruct(dataset, initial_volume=initial_volume)
-
-    path = save_result(args.out, result)
+    path = save_result(args.out, result, config=config)
+    print(f"solver: {config.solver}")
     print(f"cost: {result.history[0]:.4e} -> {result.history[-1]:.4e} "
           f"over {len(result.history)} iterations")
     print(f"messages: {result.messages}, "
           f"peak memory/rank: {result.peak_memory_mean / 1e6:.2f} MB")
-    print(f"wrote {path}")
+    print(f"wrote {path} (config embedded for replay)")
     return 0
 
 
@@ -182,20 +277,9 @@ def _cmd_predict(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
-    from repro import experiments
+    from repro.experiments import get_experiment
 
-    runners = {
-        "table1": experiments.run_table1,
-        "table2": experiments.run_table2,
-        "table3": experiments.run_table3,
-        "fig5": experiments.run_fig5,
-        "fig6": experiments.run_fig6,
-        "fig7a": experiments.run_fig7a,
-        "fig7b": experiments.run_fig7b,
-        "fig8": experiments.run_fig8,
-        "fig9": experiments.run_fig9,
-    }
-    result = runners[args.name]()
+    result = get_experiment(args.name)()
     print(result.format())
     return 0
 

@@ -9,6 +9,8 @@
 * :mod:`repro.core.reconstructor` — the public
   :class:`GradientDecompositionReconstructor` (Alg. 1).
 * :mod:`repro.core.stitching` — halo discard + tile stitching.
+* :mod:`repro.core.observers` — the :class:`IterationEvent` observer API
+  shared by every reconstructor (re-exported via :mod:`repro.api`).
 """
 
 from repro.core.decomposition import (
@@ -25,6 +27,7 @@ from repro.core.passes import (
     build_neighbor_exchanges,
 )
 from repro.core.engine import NumericEngine
+from repro.core.observers import IterationEvent, Observer, dispatch
 from repro.core.reconstructor import (
     GradientDecompositionReconstructor,
     ReconstructionResult,
@@ -48,6 +51,9 @@ __all__ = [
     "build_allreduce_sync",
     "build_neighbor_exchanges",
     "NumericEngine",
+    "IterationEvent",
+    "Observer",
+    "dispatch",
     "GradientDecompositionReconstructor",
     "ReconstructionResult",
     "stitch",

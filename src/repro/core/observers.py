@@ -1,0 +1,172 @@
+"""Structured per-iteration observation of a running reconstruction.
+
+Every reconstructor (gradient decomposition, halo exchange, serial) emits
+one :class:`IterationEvent` per iteration to each observer passed via its
+``reconstruct(..., observers=[...])`` parameter.  An observer is any
+callable taking a single :class:`IterationEvent`; stateful observers
+(e.g. :class:`repro.api.events.CheckpointPolicy`) are plain objects with
+``__call__``.
+
+This replaces the historical bare ``callback(iteration, cost, engine)``
+hook, whose third argument differed per reconstructor (numeric engine for
+the distributed solvers, raw volume for the serial one) and which exposed
+none of the traffic/memory counters.  The old ``callback=`` keyword still
+works but raises :class:`DeprecationWarning`; migrate with::
+
+    # before
+    recon.reconstruct(dataset, callback=lambda it, cost, eng: ...)
+    # after
+    recon.reconstruct(dataset, observers=[lambda ev: ... ev.iteration,
+                                          ev.cost, ev.snapshot() ...])
+
+The event carries a lazy ``snapshot`` thunk so expensive state
+materialization (stitching tiles into a full volume) only happens for
+observers that ask for it.
+
+This module lives in :mod:`repro.core` so the reconstructors can import it
+without depending on the higher-level :mod:`repro.api` package; the public
+API re-exports everything here as ``repro.api.IterationEvent`` etc.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.reconstructor import ReconstructionResult
+
+__all__ = [
+    "IterationEvent",
+    "IterationEmitter",
+    "Observer",
+    "dispatch",
+    "warn_legacy_callback",
+]
+
+
+@dataclass(frozen=True)
+class IterationEvent:
+    """One iteration of a reconstruction, as seen by observers.
+
+    Attributes
+    ----------
+    solver:
+        Registry name of the emitting solver (``"gd"``, ``"hve"``,
+        ``"serial"``, or a third-party registration).
+    iteration:
+        0-based iteration index just completed.
+    n_iterations:
+        Total iterations the run will execute.
+    cost:
+        Sweep cost of this iteration (what ends up in
+        ``ReconstructionResult.history``).
+    elapsed_s:
+        Wall-clock seconds since the reconstruction started.
+    messages / message_bytes:
+        Cumulative point-to-point traffic measured so far.
+    peak_memory_bytes:
+        Mean per-rank peak allocation measured so far.
+    snapshot:
+        Zero-argument callable materializing the reconstruction state as
+        a :class:`~repro.core.reconstructor.ReconstructionResult`
+        (stitched volume + history), always describing the state *at the
+        moment it is called* — call it during observation for the
+        per-iteration state.  Lazy: only observers that need state
+        (checkpointing, live imaging) pay the stitching cost.
+    """
+
+    solver: str
+    iteration: int
+    n_iterations: int
+    cost: float
+    elapsed_s: float
+    messages: int
+    message_bytes: int
+    peak_memory_bytes: float
+    snapshot: Callable[[], "ReconstructionResult"] = field(
+        repr=False, compare=False
+    )
+
+    @property
+    def is_last(self) -> bool:
+        """True on the final iteration of the run."""
+        return self.iteration == self.n_iterations - 1
+
+
+#: An observer is any callable consuming an :class:`IterationEvent`.
+Observer = Callable[[IterationEvent], None]
+
+
+def dispatch(observers: Iterable[Observer], event: IterationEvent) -> None:
+    """Deliver ``event`` to every observer, in order.
+
+    Observer exceptions propagate — a failing checkpoint writer should
+    abort the run loudly, not corrupt a multi-hour reconstruction
+    silently.
+    """
+    for observer in observers:
+        observer(event)
+
+
+class IterationEmitter:
+    """Per-run event factory shared by all reconstructors.
+
+    Owns the wall-clock origin and the run-constant event fields so each
+    reconstructor's loop only supplies what varies per iteration.  A
+    no-op (including the ``snapshot`` thunk, which is never called) when
+    the observer list is empty.
+    """
+
+    def __init__(
+        self,
+        solver: str,
+        n_iterations: int,
+        observers: Sequence[Observer],
+    ) -> None:
+        self.solver = solver
+        self.n_iterations = n_iterations
+        self.observers = tuple(observers)
+        self._start = time.perf_counter()
+
+    def emit(
+        self,
+        iteration: int,
+        cost: float,
+        *,
+        messages: int,
+        message_bytes: int,
+        peak_memory_bytes: float,
+        snapshot: Callable[[], "ReconstructionResult"],
+    ) -> None:
+        """Build this iteration's event and deliver it to all observers."""
+        if not self.observers:
+            return
+        dispatch(
+            self.observers,
+            IterationEvent(
+                solver=self.solver,
+                iteration=iteration,
+                n_iterations=self.n_iterations,
+                cost=cost,
+                elapsed_s=time.perf_counter() - self._start,
+                messages=messages,
+                message_bytes=message_bytes,
+                peak_memory_bytes=peak_memory_bytes,
+                snapshot=snapshot,
+            ),
+        )
+
+
+def warn_legacy_callback(owner: str) -> None:
+    """Emit the deprecation warning for the pre-observer ``callback=``
+    keyword (see module docstring for the migration recipe)."""
+    warnings.warn(
+        f"{owner}.reconstruct(callback=...) is deprecated; pass "
+        "observers=[...] instead — each observer receives a structured "
+        "IterationEvent (see repro.core.observers)",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -25,12 +25,17 @@ point roundoff at any rank count (tested).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.decomposition import Decomposition, decompose_gradient
 from repro.core.engine import NumericEngine
+from repro.core.observers import (
+    IterationEmitter,
+    Observer,
+    warn_legacy_callback,
+)
 from repro.core.passes import (
     build_allreduce_sync,
     build_appp_passes,
@@ -287,6 +292,8 @@ class GradientDecompositionReconstructor:
         callback: Optional[Callable[[int, float, NumericEngine], None]] = None,
         initial_probe: Optional[np.ndarray] = None,
         initial_volume: Optional[np.ndarray] = None,
+        *,
+        observers: Sequence[Observer] = (),
     ) -> ReconstructionResult:
         """Run the full reconstruction.
 
@@ -294,10 +301,18 @@ class GradientDecompositionReconstructor:
         ----------
         dataset:
             The acquisition.
+        observers:
+            Per-iteration hooks, each receiving a structured
+            :class:`~repro.core.observers.IterationEvent` (iteration,
+            cost, elapsed time, traffic/memory counters, and a lazy
+            ``snapshot()`` materializing the current state as a
+            :class:`ReconstructionResult`) — used by the convergence
+            experiments and :class:`repro.api.CheckpointPolicy`.
         callback:
-            Optional per-iteration hook ``callback(iteration, cost, engine)``
-            — used by the convergence experiments to record true-cost
-            curves or snapshots.
+            **Deprecated** pre-observer hook ``callback(iteration, cost,
+            engine)``; still honoured (with a :class:`DeprecationWarning`)
+            alongside any observers.  Migrate with
+            ``observers=[lambda ev: old(ev.iteration, ev.cost, ...)]``.
         initial_probe:
             Starting probe estimate (defaults to the dataset's probe; pass
             a perturbed probe together with ``refine_probe=True`` for
@@ -305,6 +320,8 @@ class GradientDecompositionReconstructor:
         initial_volume:
             Warm-start volume (checkpoint restart); defaults to vacuum.
         """
+        if callback is not None:
+            warn_legacy_callback(type(self).__name__)
         decomp = self.decompose(dataset)
         engine = NumericEngine(
             dataset,
@@ -317,24 +334,41 @@ class GradientDecompositionReconstructor:
         )
         schedule = self.build_iteration_schedule(decomp)
 
+        def result_snapshot(history: List[float]) -> ReconstructionResult:
+            return ReconstructionResult(
+                volume=stitch(decomp, engine.volumes(), dataset.n_slices),
+                history=list(history),
+                messages=engine.comm.sent_messages,
+                message_bytes=int(engine.comm.sent_bytes),
+                peak_memory_per_rank=engine.memory.per_rank_peaks(),
+                decomposition=decomp,
+                probe=(
+                    engine.states[0].probe.copy()
+                    if self.refine_probe
+                    else None
+                ),
+            )
+
         history: List[float] = []
+        emitter = IterationEmitter("gd", self.iterations, observers)
         for it in range(self.iterations):
             engine.execute(schedule)
             cost = engine.iteration_cost()
             history.append(cost)
             if callback is not None:
                 callback(it, cost, engine)
+            emitter.emit(
+                it,
+                cost,
+                messages=engine.comm.sent_messages,
+                message_bytes=int(engine.comm.sent_bytes),
+                peak_memory_bytes=float(
+                    np.mean(engine.memory.per_rank_peaks())
+                ),
+                # Materializes the engine state *at call time*, so
+                # volume, counters and history always describe the same
+                # moment (history is read live, not frozen).
+                snapshot=lambda: result_snapshot(list(history)),
+            )
 
-        volume = stitch(decomp, engine.volumes(), dataset.n_slices)
-        final_probe = (
-            engine.states[0].probe.copy() if self.refine_probe else None
-        )
-        return ReconstructionResult(
-            volume=volume,
-            history=history,
-            messages=engine.comm.sent_messages,
-            message_bytes=int(engine.comm.sent_bytes),
-            peak_memory_per_rank=engine.memory.per_rank_peaks(),
-            decomposition=decomp,
-            probe=final_probe,
-        )
+        return result_snapshot(history)

@@ -5,6 +5,13 @@ with a ``format()`` method that prints the paper's reported values next
 to this reproduction's measured/modeled values.  The benchmark suite under
 ``benchmarks/`` calls these, and EXPERIMENTS.md records their output.
 
+Every runner registers itself in :data:`EXPERIMENTS` (see
+:mod:`repro.experiments.registry`); the CLI's ``experiment`` subcommand
+derives both its choices and its dispatch from that registry.  The
+numeric experiments (fig5/fig8/fig9) build their solvers through
+:mod:`repro.api` configs, so they exercise the same code path as
+``repro.reconstruct`` and the CLI.
+
 =============  =======================================  ==================
 paper artifact what it shows                            module
 =============  =======================================  ==================
@@ -18,6 +25,12 @@ Fig. 9         convergence vs pass frequency            ``fig9``
 =============  =======================================  ==================
 """
 
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    experiment_names,
+    get_experiment,
+    register_experiment,
+)
 from repro.experiments.table1 import run_table1
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6
@@ -29,6 +42,10 @@ from repro.experiments.fig8 import run_fig8
 from repro.experiments.fig9 import run_fig9
 
 __all__ = [
+    "EXPERIMENTS",
+    "experiment_names",
+    "get_experiment",
+    "register_experiment",
     "run_table1",
     "run_fig5",
     "run_fig6",

@@ -17,15 +17,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.api.config import ReconstructionConfig
+from repro.api.registry import solver_from_config
 from repro.core.decomposition import decompose_gradient
 from repro.core.passes import TAG_HORIZONTAL, TAG_VERTICAL, build_appp_passes
-from repro.core.reconstructor import GradientDecompositionReconstructor
 from repro.parallel.event_sim import EventSimulator, TraceEvent
 from repro.parallel.network import NetworkModel
 from repro.parallel.topology import ClusterTopology, MeshLayout
 from repro.schedule.ops import BufferExchange, Schedule
 from repro.physics.dataset import scaled_pbtio3_spec
 from repro.physics.scan import RasterScan
+
+from repro.experiments.registry import register_experiment
 
 __all__ = ["Fig5Result", "run_fig5"]
 
@@ -116,6 +119,7 @@ class Fig5Result:
         return "\n".join(lines)
 
 
+@register_experiment("fig5")
 def run_fig5(mesh: Optional[MeshLayout] = None) -> Fig5Result:
     """Regenerate the Fig. 5 timeline on the paper's 3x3 example mesh."""
     mesh = mesh if mesh is not None else MeshLayout(3, 3)
@@ -124,8 +128,15 @@ def run_fig5(mesh: Optional[MeshLayout] = None) -> Fig5Result:
     )
     scan = RasterScan(spec.scan_spec(), probe_window_px=spec.detector_px)
     decomp = decompose_gradient(scan, spec.object_shape, mesh=mesh)
-    recon = GradientDecompositionReconstructor(mesh=mesh, iterations=1)
-    schedule = recon.build_iteration_schedule(decomp)
+    # Built through the solver registry; schedule construction reaches
+    # the wrapped reconstructor via adapter delegation.
+    solver = solver_from_config(
+        ReconstructionConfig(
+            solver="gd",
+            solver_params={"mesh": [mesh.rows, mesh.cols], "iterations": 1},
+        )
+    )
+    schedule = solver.build_iteration_schedule(decomp)
 
     direction_of: Dict[int, str] = {}
     for op in schedule:

@@ -16,6 +16,8 @@ import numpy as np
 
 from repro.physics.potential import SpecimenSpec, make_specimen
 
+from repro.experiments.registry import register_experiment
+
 __all__ = ["Fig6Result", "run_fig6"]
 
 
@@ -81,6 +83,7 @@ class Fig6Result:
         return abs(self.lattice_spacing_px - expected) <= tolerance * expected
 
 
+@register_experiment("fig6")
 def run_fig6(shape: Tuple[int, int] = (192, 192)) -> Fig6Result:
     """Render and analyze a PbTiO3 slice."""
     spec = SpecimenSpec(shape=shape, n_slices=2)

@@ -16,6 +16,8 @@ from repro.perfmodel.machine import MachineSpec, SUMMIT
 from repro.perfmodel.predictor import PerformancePredictor
 from repro.physics.dataset import large_pbtio3_spec, small_pbtio3_spec
 
+from repro.experiments.registry import register_experiment
+
 __all__ = ["Fig7aResult", "run_fig7a"]
 
 
@@ -74,6 +76,7 @@ class Fig7aResult:
         ]
 
 
+@register_experiment("fig7a")
 def run_fig7a(
     small_gpus: Sequence[int] = (6, 24, 54, 126, 198, 462),
     large_gpus: Sequence[int] = (6, 54, 198, 462, 924, 4158),

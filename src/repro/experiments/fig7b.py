@@ -20,6 +20,8 @@ from repro.perfmodel.machine import MachineSpec, SUMMIT
 from repro.perfmodel.predictor import PerformancePredictor
 from repro.physics.dataset import large_pbtio3_spec
 
+from repro.experiments.registry import register_experiment
+
 __all__ = ["Fig7bResult", "run_fig7b"]
 
 
@@ -75,6 +77,7 @@ class Fig7bResult:
         }
 
 
+@register_experiment("fig7b")
 def run_fig7b(
     gpu_counts: Sequence[int] = (24, 54, 126, 198, 462),
     machine: MachineSpec = SUMMIT,

@@ -28,9 +28,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.baseline.halo_exchange import HaloExchangeReconstructor
-from repro.baseline.serial import SerialReconstructor
-from repro.core.reconstructor import GradientDecompositionReconstructor
+from repro.api.config import ReconstructionConfig
+from repro.api.reconstruct import reconstruct
 from repro.experiments.report import format_table
 from repro.metrics.seam import seam_metric
 from repro.parallel.topology import MeshLayout
@@ -40,6 +39,8 @@ from repro.physics.dataset import (
     simulate_dataset,
     suggest_lr,
 )
+
+from repro.experiments.registry import register_experiment
 
 __all__ = ["Fig8Result", "run_fig8"]
 
@@ -84,6 +85,7 @@ class Fig8Result:
         return abs(self.seam_gd - self.seam_serial) <= 0.1 * self.seam_serial
 
 
+@register_experiment("fig8")
 def run_fig8(
     mesh: Optional[MeshLayout] = None,
     iterations: int = 12,
@@ -103,30 +105,50 @@ def run_fig8(
     dataset = simulate_dataset(spec, seed=seed)
     lr = suggest_lr(dataset, alpha=0.35)
 
-    serial = SerialReconstructor(iterations=iterations, lr=lr, scheme="sgd")
-    res_serial = serial.reconstruct(dataset)
-
-    gd = GradientDecompositionReconstructor(
-        mesh=mesh,
-        iterations=iterations,
-        lr=lr,
-        mode="alg1",
-        sync_period="iteration",
-        compensate_local=True,
+    mesh_json = [mesh.rows, mesh.cols]
+    res_serial = reconstruct(
+        dataset,
+        ReconstructionConfig(
+            solver="serial",
+            solver_params={
+                "iterations": iterations,
+                "lr": float(lr),
+                "scheme": "sgd",
+            },
+        ),
     )
-    res_gd = gd.reconstruct(dataset)
+
+    res_gd = reconstruct(
+        dataset,
+        ReconstructionConfig(
+            solver="gd",
+            solver_params={
+                "mesh": mesh_json,
+                "iterations": iterations,
+                "lr": float(lr),
+                "mode": "alg1",
+                "sync_period": "iteration",
+                "compensate_local": True,
+            },
+        ),
+    )
 
     # One HVE "iteration" here = inner_sweeps independent local sweeps +
     # a voxel exchange, so total local sweeps match the other runs.
-    hve = HaloExchangeReconstructor(
-        mesh=mesh,
-        iterations=max(1, iterations // inner_sweeps),
-        lr=lr,
-        extra_rows=2,
-        inner_sweeps=inner_sweeps,
-        enforce_tile_constraint=False,
+    res_hve = reconstruct(
+        dataset,
+        ReconstructionConfig(
+            solver="hve",
+            solver_params={
+                "mesh": mesh_json,
+                "iterations": max(1, iterations // inner_sweeps),
+                "lr": float(lr),
+                "extra_rows": 2,
+                "inner_sweeps": inner_sweeps,
+                "enforce_tile_constraint": False,
+            },
+        ),
     )
-    res_hve = hve.reconstruct(dataset)
 
     decomp = res_gd.decomposition
     margin = spec.detector_px // 2

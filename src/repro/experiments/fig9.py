@@ -17,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.reconstructor import GradientDecompositionReconstructor
+from repro.api.config import ReconstructionConfig
+from repro.api.reconstruct import reconstruct
 from repro.experiments.report import format_table
 from repro.metrics.convergence import auc_cost, relative_decrease
 from repro.parallel.topology import MeshLayout
@@ -27,6 +28,8 @@ from repro.physics.dataset import (
     simulate_dataset,
     suggest_lr,
 )
+
+from repro.experiments.registry import register_experiment
 
 __all__ = ["Fig9Result", "run_fig9"]
 
@@ -90,6 +93,7 @@ class Fig9Result:
         )
 
 
+@register_experiment("fig9")
 def run_fig9(
     mesh: Optional[MeshLayout] = None,
     iterations: int = 10,
@@ -110,14 +114,17 @@ def run_fig9(
     histories: Dict[str, List[float]] = {}
     message_counts: Dict[str, int] = {}
     for label, period in FREQUENCIES.items():
-        recon = GradientDecompositionReconstructor(
-            mesh=mesh,
-            iterations=iterations,
-            lr=lr,
-            mode="alg1",
-            sync_period=period,
+        config = ReconstructionConfig(
+            solver="gd",
+            solver_params={
+                "mesh": [mesh.rows, mesh.cols],
+                "iterations": iterations,
+                "lr": float(lr),
+                "mode": "alg1",
+                "sync_period": period,
+            },
         )
-        result = recon.reconstruct(dataset)
+        result = reconstruct(dataset, config)
         histories[label] = result.history
         message_counts[label] = result.messages
     return Fig9Result(histories=histories, message_counts=message_counts)

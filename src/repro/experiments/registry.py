@@ -1,0 +1,51 @@
+"""Registry of paper-artifact experiments.
+
+Each experiment module decorates its ``run_*`` function with
+:func:`register_experiment`; the CLI's ``experiment --name`` choices and
+dispatch both derive from :data:`EXPERIMENTS`, so adding an experiment
+is one decorator — no dispatch table to update anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+__all__ = [
+    "EXPERIMENTS",
+    "register_experiment",
+    "experiment_names",
+    "get_experiment",
+]
+
+#: name -> zero-argument runner returning a result with ``.format()``.
+EXPERIMENTS: Dict[str, Callable[..., Any]] = {}
+
+
+def register_experiment(name: str) -> Callable[[Callable], Callable]:
+    """Decorator registering a ``run_*`` function under ``name``."""
+    if not isinstance(name, str) or not name:
+        raise ValueError("experiment name must be a non-empty string")
+
+    def decorator(fn: Callable) -> Callable:
+        if name in EXPERIMENTS:
+            raise ValueError(f"experiment {name!r} is already registered")
+        EXPERIMENTS[name] = fn
+        return fn
+
+    return decorator
+
+
+def experiment_names() -> List[str]:
+    """Sorted names of all registered experiments."""
+    return sorted(EXPERIMENTS)
+
+
+def get_experiment(name: str) -> Callable[..., Any]:
+    """The runner registered under ``name``."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        registered = ", ".join(experiment_names()) or "(none)"
+        raise ValueError(
+            f"unknown experiment {name!r}; registered: {registered}"
+        ) from None

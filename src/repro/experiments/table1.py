@@ -12,6 +12,8 @@ from repro.physics.dataset import (
     small_pbtio3_spec,
 )
 
+from repro.experiments.registry import register_experiment
+
 __all__ = ["Table1Result", "run_table1"]
 
 #: Paper Table I reference values.
@@ -89,6 +91,7 @@ class Table1Result:
         return True
 
 
+@register_experiment("table1")
 def run_table1() -> Table1Result:
     """Build the Table I inventory from the full-size dataset specs."""
     return Table1Result(specs=[small_pbtio3_spec(), large_pbtio3_spec()])

@@ -14,6 +14,8 @@ from repro.perfmodel.machine import MachineSpec, SUMMIT
 from repro.perfmodel.predictor import NA, PerformancePredictor, ScalingRow
 from repro.physics.dataset import small_pbtio3_spec
 
+from repro.experiments.registry import register_experiment
+
 __all__ = ["Table2Result", "run_table2", "PAPER_TABLE2_GD", "PAPER_TABLE2_HVE"]
 
 #: Paper Table II(a): GPUs -> (memory GB, runtime min, efficiency %).
@@ -89,6 +91,7 @@ class Table2Result:
         )
 
 
+@register_experiment("table2")
 def run_table2(
     gpu_counts: Sequence[int] = (6, 24, 54, 126, 198, 462),
     hve_gpu_counts: Sequence[int] = (6, 24, 54, 126),

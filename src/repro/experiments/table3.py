@@ -15,6 +15,8 @@ from repro.perfmodel.machine import MachineSpec, SUMMIT
 from repro.perfmodel.predictor import NA, PerformancePredictor, ScalingRow
 from repro.physics.dataset import large_pbtio3_spec
 
+from repro.experiments.registry import register_experiment
+
 __all__ = ["Table3Result", "run_table3", "PAPER_TABLE3_GD", "PAPER_TABLE3_HVE"]
 
 #: Paper Table III(a): GPUs -> (memory GB, runtime min, efficiency %).
@@ -76,6 +78,7 @@ class Table3Result(Table2Result):
         return hve_at_max / gd_best
 
 
+@register_experiment("table3")
 def run_table3(
     gpu_counts: Sequence[int] = (6, 54, 198, 462, 924, 4158),
     hve_gpu_counts: Sequence[int] = (6, 54, 198, 462),

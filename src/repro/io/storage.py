@@ -7,9 +7,12 @@ Single-file compressed ``.npz`` archives:
   ground-truth volume.  ``load_dataset`` reconstructs a fully functional
   :class:`PtychoDataset` (scan geometry is derived from the spec, so the
   archive stays compact).
-* **results** — stitched volume, cost history, refined probe (if any), and
-  run metadata.  Together with the reconstructors' ``initial_volume``
-  parameter this gives checkpoint/restart.
+* **results** — stitched volume, cost history, refined probe (if any),
+  run metadata, and (when provided) the resolved
+  :class:`~repro.api.config.ReconstructionConfig` that produced the run,
+  so any archive can be replayed bit-for-bit.  Together with the
+  reconstructors' ``initial_volume`` parameter this gives
+  checkpoint/restart.
 """
 
 from __future__ import annotations
@@ -18,11 +21,16 @@ import dataclasses
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import TYPE_CHECKING, Any, List, Mapping, Optional, Union
 
 import numpy as np
 
 from repro.core.reconstructor import ReconstructionResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    # Imported lazily at runtime: repro.api.events imports this module,
+    # so a module-level import here would be circular.
+    from repro.api.config import ReconstructionConfig
 from repro.physics.dataset import DatasetSpec, PtychoDataset
 from repro.physics.probe import Probe
 from repro.physics.scan import RasterScan
@@ -112,6 +120,10 @@ class ResultArchive:
     peak_memory_per_rank: List[int]
     n_ranks: int
     probe: Optional[np.ndarray] = None
+    #: The resolved config the run was produced from, when the writer
+    #: embedded one (``save_result(..., config=...)``); replay it with
+    #: ``repro.reconstruct(dataset, archive.config)``.
+    config: Optional["ReconstructionConfig"] = None
 
     @property
     def final_cost(self) -> float:
@@ -120,9 +132,15 @@ class ResultArchive:
 
 
 def save_result(
-    path: Union[str, Path], result: ReconstructionResult
+    path: Union[str, Path],
+    result: ReconstructionResult,
+    config: Optional[Union["ReconstructionConfig", Mapping[str, Any]]] = None,
 ) -> Path:
-    """Write a :class:`ReconstructionResult` to a compressed npz archive."""
+    """Write a :class:`ReconstructionResult` to a compressed npz archive.
+
+    ``config`` (a :class:`~repro.api.config.ReconstructionConfig` or its
+    ``to_dict`` form) is embedded as JSON for provenance/replay.
+    """
     path = Path(path)
     payload = {
         "format_version": np.array(_FORMAT_VERSION),
@@ -138,12 +156,20 @@ def save_result(
     }
     if result.probe is not None:
         payload["probe"] = result.probe
+    if config is not None:
+        from repro.api.config import ReconstructionConfig
+
+        if not isinstance(config, ReconstructionConfig):
+            config = ReconstructionConfig.from_dict(config)
+        payload["config_json"] = np.array(config.to_json())
     np.savez_compressed(path, **payload)
     return path
 
 
 def load_result(path: Union[str, Path]) -> ResultArchive:
     """Read a reconstruction archive written by :func:`save_result`."""
+    from repro.api.config import ReconstructionConfig
+
     with np.load(Path(path), allow_pickle=False) as archive:
         _check_kind(archive, "result", path)
         return ResultArchive(
@@ -156,6 +182,11 @@ def load_result(path: Union[str, Path]) -> ResultArchive:
             ],
             n_ranks=int(archive["n_ranks"]),
             probe=archive["probe"] if "probe" in archive else None,
+            config=(
+                ReconstructionConfig.from_json(str(archive["config_json"]))
+                if "config_json" in archive
+                else None
+            ),
         )
 
 
