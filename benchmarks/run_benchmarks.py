@@ -1,0 +1,238 @@
+#!/usr/bin/env python
+"""Backend x precision benchmark harness -> ``BENCH_backends.json``.
+
+Runs three benches for every available backend x dtype scenario:
+
+* ``batched_fft`` — the batched probe-window transform micro-kernel
+  (the ``(n_slices, window, window)`` fft2c/ifft2c round trip that
+  dominates the multislice sweep);
+* ``multislice_gradient`` — one full cost+gradient evaluation (forward
+  sweep + adjoint recursion);
+* ``small_recon`` — an end-to-end serial reconstruction on a scaled
+  PbTiO3 acquisition.
+
+Wall times are best-of-``--repeats`` (min is the standard low-noise
+estimator for micro-benchmarks); every scenario's speedup is reported
+against the ``numpy``/``complex128`` baseline.  ``--smoke`` shrinks
+sizes and repeats so CI can exercise the harness in seconds.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py            # full
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --smoke
+    PYTHONPATH=src python benchmarks/run_benchmarks.py \
+        --backends numpy,threaded --dtypes complex64 --out bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.backend import (
+    available_backend_names,
+    get_backend,
+    resolve_precision,
+)
+from repro.baseline.serial import SerialReconstructor
+from repro.experiments.report import format_table
+from repro.physics.dataset import (
+    scaled_pbtio3_spec,
+    simulate_dataset,
+    suggest_lr,
+)
+from repro.utils.fftutils import fft2c, ifft2c
+
+BASELINE = {"backend": "numpy", "dtype": "complex128"}
+
+#: (batch, window) of the micro-kernel; (window, slices) of the gradient
+#: kernel; (grid, detector, slices, iterations) of the small recon.
+FULL_SIZES = {
+    "batched_fft": (32, 128, 20),          # batch, n, inner reps
+    "multislice_gradient": (64, 8, 5),     # window, slices, inner reps
+    "small_recon": ((4, 4), 24, 2, 2),     # grid, detector, slices, iters
+}
+SMOKE_SIZES = {
+    "batched_fft": (8, 32, 5),
+    "multislice_gradient": (24, 2, 2),
+    "small_recon": ((3, 3), 16, 2, 1),
+}
+
+
+def _best_of(fn: Callable[[], None], repeats: int) -> float:
+    fn()  # warm-up: plan caches, twiddle tables, allocator
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_batched_fft(backend_name, dtype_name, sizes, repeats) -> float:
+    batch, n, inner = sizes
+    backend = get_backend(backend_name)
+    cdtype = resolve_precision(dtype_name).complex_dtype
+    rng = np.random.default_rng(0)
+    stack = (
+        rng.normal(size=(batch, n, n)) + 1j * rng.normal(size=(batch, n, n))
+    ).astype(cdtype)
+
+    def run():
+        for _ in range(inner):
+            ifft2c(fft2c(stack, backend), backend)
+
+    return _best_of(run, repeats) / inner
+
+
+def bench_multislice_gradient(backend_name, dtype_name, sizes, repeats) -> float:
+    from repro.physics.multislice import MultisliceModel
+    from repro.physics.probe import ProbeSpec, make_probe
+
+    window, slices, inner = sizes
+    model = MultisliceModel(
+        window, slices, 10.0, 2.508, 125.0,
+        backend=backend_name, dtype=dtype_name,
+    )
+    probe = make_probe(
+        ProbeSpec(window=window, defocus_pm=5000.0, pixel_size_pm=10.0)
+    ).array
+    rng = np.random.default_rng(1)
+    obj = np.exp(1j * 0.1 * rng.normal(size=(slices, window, window)))
+    truth = np.exp(1j * 0.1 * rng.normal(size=(slices, window, window)))
+    measured = model.forward_amplitude(probe, truth)
+
+    def run():
+        for _ in range(inner):
+            model.cost_and_gradient(probe, obj, measured)
+
+    return _best_of(run, repeats) / inner
+
+
+def bench_small_recon(backend_name, dtype_name, sizes, repeats, dataset_cache={}) -> float:
+    grid, detector, slices, iters = sizes
+    key = (grid, detector, slices)
+    if key not in dataset_cache:
+        spec = scaled_pbtio3_spec(
+            scan_grid=grid, detector_px=detector, n_slices=slices,
+            overlap_ratio=0.7,
+        )
+        dataset_cache[key] = simulate_dataset(spec, seed=3)
+    dataset = dataset_cache[key]
+    lr = suggest_lr(dataset, alpha=0.35)
+    solver = SerialReconstructor(
+        iterations=iters, lr=lr, backend=backend_name, dtype=dtype_name
+    )
+
+    def run():
+        solver.reconstruct(dataset)
+
+    return _best_of(run, repeats)
+
+
+BENCHES = {
+    "batched_fft": bench_batched_fft,
+    "multislice_gradient": bench_multislice_gradient,
+    "small_recon": bench_small_recon,
+}
+
+
+def run_suite(backends, dtypes, sizes, repeats) -> List[Dict]:
+    results: List[Dict] = []
+    for bench_name, bench_fn in BENCHES.items():
+        for backend_name in backends:
+            for dtype_name in dtypes:
+                seconds = bench_fn(
+                    backend_name, dtype_name, sizes[bench_name], repeats
+                )
+                results.append({
+                    "bench": bench_name,
+                    "backend": backend_name,
+                    "dtype": dtype_name,
+                    "seconds": seconds,
+                })
+    # Speedups against the numpy/complex128 entry of each bench (only
+    # meaningful when the baseline scenario was part of the sweep).
+    base = {
+        r["bench"]: r["seconds"]
+        for r in results
+        if r["backend"] == BASELINE["backend"]
+        and r["dtype"] == BASELINE["dtype"]
+    }
+    for r in results:
+        ref = base.get(r["bench"])
+        r["speedup_vs_baseline"] = (
+            ref / r["seconds"] if ref else None
+        )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_backends.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes + few repeats (CI harness check)")
+    parser.add_argument("--backends", default=None,
+                        help="comma-separated subset (default: all available)")
+    parser.add_argument("--dtypes", default="complex128,complex64")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="best-of repeats (default: 5 full, 2 smoke)")
+    args = parser.parse_args(argv)
+
+    backends = (
+        args.backends.split(",") if args.backends
+        else available_backend_names()
+    )
+    dtypes = args.dtypes.split(",")
+    sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    repeats = args.repeats or (2 if args.smoke else 5)
+
+    results = run_suite(backends, dtypes, sizes, repeats)
+
+    payload = {
+        "schema": "repro-bench-backends/1",
+        "mode": "smoke" if args.smoke else "full",
+        "baseline": BASELINE,
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "numpy": np.__version__,
+            "python": sys.version.split()[0],
+        },
+        "sizes": {k: list(v) for k, v in sizes.items()},
+        "repeats": repeats,
+        "results": results,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [
+        [
+            r["bench"], r["backend"], r["dtype"],
+            f"{r['seconds'] * 1e3:.3f}",
+            f"{r['speedup_vs_baseline']:.2f}x"
+            if r["speedup_vs_baseline"] else "n/a",
+        ]
+        for r in results
+    ]
+    print(format_table(
+        ["bench", "backend", "dtype", "ms", "vs numpy/c128"],
+        rows,
+        title=f"backend benchmarks ({payload['mode']}) -> {out}",
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

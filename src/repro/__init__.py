@@ -11,6 +11,12 @@ Config-driven reconstruction (the recommended entry point):
     goes through :class:`repro.api.IterationEvent` observers
     (:class:`repro.api.CheckpointPolicy` snapshots runs to disk).
 
+Compute backends / precision:
+    :mod:`repro.backend` — the :func:`repro.register_backend` registry
+    (``numpy``/``threaded``/``cupy``), :class:`repro.PrecisionPolicy`
+    (``complex128`` reference, ``complex64`` fast path), and
+    :func:`repro.use_backend`; configs carry ``backend=``/``dtype=``.
+
 Physics / data:
     :func:`repro.physics.simulate_dataset`,
     :func:`repro.physics.scaled_pbtio3_spec`,
@@ -36,7 +42,8 @@ See README.md for a quickstart built on ``repro.reconstruct``.
 
 __version__ = "1.1.0"
 
-from repro import utils  # noqa: F401  (re-exported subpackages)
+from repro import backend  # noqa: F401  (re-exported subpackages)
+from repro import utils  # noqa: F401
 from repro import physics  # noqa: F401
 from repro import schedule  # noqa: F401
 from repro import parallel  # noqa: F401
@@ -67,9 +74,16 @@ from repro.api import (
     solver_from_config,
     solver_names,
 )
+from repro.backend import (
+    PrecisionPolicy,
+    backend_names,
+    register_backend,
+    use_backend,
+)
 
 __all__ = [
     "__version__",
+    "backend",
     "utils",
     "physics",
     "schedule",
@@ -100,4 +114,8 @@ __all__ = [
     "solver_names",
     "IterationEvent",
     "CheckpointPolicy",
+    "PrecisionPolicy",
+    "backend_names",
+    "register_backend",
+    "use_backend",
 ]

@@ -24,9 +24,11 @@ from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Any, Dict, Mapping
 
+from repro.backend.base import PrecisionPolicy
+
 __all__ = ["ReconstructionConfig"]
 
-_CONFIG_KEYS = ("solver", "solver_params", "run_params")
+_CONFIG_KEYS = ("solver", "solver_params", "run_params", "backend", "dtype")
 
 
 def _normalize(value: Any, where: str) -> Any:
@@ -72,15 +74,37 @@ class ReconstructionConfig:
         Parameters applied by :func:`repro.api.reconstruct` at run time,
         independent of the solver — currently ``{"resume": "path.npz"}``
         to warm-start from a saved result archive.
+    backend:
+        Compute-backend registry name (``"numpy"``, ``"threaded"``,
+        ``"cupy"``, or any :func:`repro.backend.register_backend`
+        registration).  ``None`` (the default) means *ambient*: the run
+        follows ``REPRO_BACKEND`` / :func:`repro.backend.use_backend` /
+        the process default.  The CLI always records the resolved name,
+        so saved archives replay on the backend that produced them.
+    dtype:
+        Compute precision: ``"complex128"`` (the bit-exact reference) or
+        ``"complex64"`` (the memory-lean fast path); ``None`` follows
+        the ambient default (``REPRO_DTYPE``, else ``complex128``).
     """
 
     solver: str
     solver_params: Mapping[str, Any] = field(default_factory=dict)
     run_params: Mapping[str, Any] = field(default_factory=dict)
+    backend: str = None
+    dtype: str = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.solver, str) or not self.solver:
             raise ValueError("solver must be a non-empty string")
+        if self.backend is not None and (
+            not isinstance(self.backend, str) or not self.backend
+        ):
+            raise ValueError("backend must be a non-empty string or None")
+        # Validates the name only (whether the backend is *registered/
+        # available* is a run-time question, so configs written for
+        # other machines stay loadable).
+        if self.dtype is not None:
+            PrecisionPolicy.from_name(self.dtype)
         object.__setattr__(
             self,
             "solver_params",
@@ -105,6 +129,8 @@ class ReconstructionConfig:
             "solver": self.solver,
             "solver_params": _normalize_mapping(self.solver_params, "solver_params"),
             "run_params": _normalize_mapping(self.run_params, "run_params"),
+            "backend": self.backend,
+            "dtype": self.dtype,
         }
 
     @classmethod
@@ -126,6 +152,11 @@ class ReconstructionConfig:
             solver=payload["solver"],
             solver_params=payload.get("solver_params", {}),
             run_params=payload.get("run_params", {}),
+            # Pre-backend archives carry neither key; they load as
+            # "ambient" — which resolves to the numpy/complex128
+            # reference they were produced with unless redirected.
+            backend=payload.get("backend"),
+            dtype=payload.get("dtype"),
         )
 
     def to_json(self, indent: int = 2) -> str:
@@ -142,10 +173,29 @@ class ReconstructionConfig:
         """New config with ``solver_params`` keys merged/overridden."""
         merged = dict(self.solver_params)
         merged.update(updates)
-        return ReconstructionConfig(self.solver, merged, self.run_params)
+        return ReconstructionConfig(
+            self.solver, merged, self.run_params, self.backend, self.dtype
+        )
 
     def with_run_params(self, **updates: Any) -> "ReconstructionConfig":
         """New config with ``run_params`` keys merged/overridden."""
         merged = dict(self.run_params)
         merged.update(updates)
-        return ReconstructionConfig(self.solver, self.solver_params, merged)
+        return ReconstructionConfig(
+            self.solver, self.solver_params, merged, self.backend, self.dtype
+        )
+
+    def with_compute(
+        self, backend: str = None, dtype: str = None
+    ) -> "ReconstructionConfig":
+        """New config with the compute backend and/or precision replaced
+        (``None`` keeps the current value) — how the CLI replays an
+        archived run on a different backend, and how the benchmark
+        harness sweeps the backend × precision scenario grid."""
+        return ReconstructionConfig(
+            self.solver,
+            self.solver_params,
+            self.run_params,
+            backend if backend is not None else self.backend,
+            dtype if dtype is not None else self.dtype,
+        )

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.api.config import ReconstructionConfig
 from repro.api.registry import solver_from_config
+from repro.backend.base import resolve_backend, resolve_precision
 from repro.core.observers import Observer
 from repro.core.reconstructor import ReconstructionResult
 from repro.io.storage import load_result
@@ -59,6 +60,10 @@ def reconstruct(
         Config names a solver that is not registered.
     SolverCapabilityError
         Config asks the solver for something it cannot do.
+    UnknownBackendError / BackendUnavailableError
+        Config names a compute backend that is not registered, or one
+        that cannot run here (e.g. ``"cupy"`` without a GPU) — checked
+        up front, before any solver work starts.
     ValueError
         Unknown ``run_params`` key.
     """
@@ -70,6 +75,9 @@ def reconstruct(
             f"unknown run_params key(s) {sorted(unknown)}; "
             f"supported: {sorted(RUN_PARAM_KEYS)}"
         )
+    # Fail fast on an unrunnable compute configuration.
+    resolve_backend(config.backend)
+    resolve_precision(config.dtype)
     solver = solver_from_config(config)
     resume = config.run_params.get("resume")
     if initial_volume is None and resume is not None:

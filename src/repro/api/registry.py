@@ -131,9 +131,44 @@ def get_solver(name: str) -> Type:
 
 
 def solver_from_config(config: "ReconstructionConfig") -> Solver:
-    """Instantiate the solver a config names, with its ``solver_params``."""
+    """Instantiate the solver a config names, with its ``solver_params``.
+
+    The config's compute fields (``backend``/``dtype``, see
+    :mod:`repro.backend`) are injected as constructor parameters for
+    solvers that declare them in ``accepted_params``.  ``None`` fields
+    (ambient resolution) inject nothing, so solvers without the
+    parameters still run on the ambient defaults — but *pinning* a
+    backend or precision on a solver that cannot honour it is a
+    :class:`SolverCapabilityError`, never a silent drop.
+    """
     cls = get_solver(config.solver)
-    return cls(**dict(config.solver_params))
+    params = dict(config.solver_params)
+    accepted = getattr(cls, "accepted_params", frozenset())
+    for key, value in (
+        ("backend", config.backend),
+        ("dtype", config.dtype),
+    ):
+        if key in params:
+            # The solver_params spelling (direct class use) must not
+            # contradict the config field.
+            if value is not None and params[key] != value:
+                raise ValueError(
+                    f"config names {key}={value!r} but solver_params "
+                    f"also sets {key}={params[key]!r}; use the config "
+                    f"field only"
+                )
+            continue
+        if value is None:
+            continue
+        if key in accepted:
+            params[key] = value
+        else:
+            raise SolverCapabilityError(
+                f"solver {config.solver!r} does not accept a compute "
+                f"{key} (asked for {key}={value!r}); declare {key!r} in "
+                f"its accepted_params to opt in"
+            )
+    return cls(**params)
 
 
 def _unknown_message(name: str) -> str:

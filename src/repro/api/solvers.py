@@ -111,6 +111,8 @@ class GradientDecompositionSolver(SolverAdapter):
             "compensate_local",
             "refine_probe",
             "probe_lr",
+            "backend",
+            "dtype",
         }
     )
 
@@ -153,6 +155,8 @@ class HaloExchangeSolver(SolverAdapter):
             "halo",
             "inner_sweeps",
             "enforce_tile_constraint",
+            "backend",
+            "dtype",
         }
     )
 
@@ -186,7 +190,8 @@ class SerialSolver(SolverAdapter):
     """The single-volume correctness reference, adapted."""
 
     accepted_params = frozenset(
-        {"iterations", "lr", "scheme", "refine_probe", "probe_lr"}
+        {"iterations", "lr", "scheme", "refine_probe", "probe_lr",
+         "backend", "dtype"}
     )
 
     def _build(self, params: Dict[str, Any]) -> SerialReconstructor:

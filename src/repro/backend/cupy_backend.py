@@ -1,0 +1,73 @@
+"""The optional ``cupy`` backend (cuFFT execution).
+
+Import-guarded: the class registers unconditionally so ``--backend
+cupy`` is always a *recognized* name, but :meth:`CupyBackend.available`
+answers honestly (cupy importable *and* a CUDA device present) and
+:func:`repro.backend.get_backend` raises
+:class:`~repro.backend.BackendUnavailableError` with the available
+alternatives when it is not.  The test suite auto-skips its cupy cases
+the same way.
+
+Transparency over residency: ``fft2``/``ifft2`` accept NumPy *or* CuPy
+arrays and return the same kind they were given (NumPy in → the result
+is copied back with ``asnumpy``).  That keeps the whole CPU-resident
+stack runnable on cuFFT unchanged — correctness-first; keeping arrays
+device-resident across the multislice sweep is the follow-on
+optimization and wants the engine's buffers allocated via ``xp``.
+
+cuFFT computes natively in single precision, so the
+``complex64`` fast path holds the dtype-preservation contract for free
+(this mirrors how libtike-cufft and the multi-GPU ptychography codes of
+Yu et al. run these exact kernels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend, register_backend
+
+__all__ = ["CupyBackend"]
+
+try:  # pragma: no cover - exercised only on GPU machines
+    import cupy as _cupy
+except Exception:  # ImportError, or a broken CUDA install
+    _cupy = None
+
+
+def _device_present() -> bool:
+    if _cupy is None:
+        return False
+    try:  # pragma: no cover - exercised only on GPU machines
+        return int(_cupy.cuda.runtime.getDeviceCount()) > 0
+    except Exception:
+        return False
+
+
+@register_backend("cupy")
+class CupyBackend(ArrayBackend):
+    """cuFFT-backed transforms (see module docstring)."""
+
+    @classmethod
+    def available(cls) -> bool:
+        return _device_present()
+
+    @property
+    def xp(self):  # pragma: no cover - exercised only on GPU machines
+        return _cupy
+
+    # ------------------------------------------------------------------
+    def fft2(self, a, norm: str = "ortho"):  # pragma: no cover - GPU only
+        return self._run(_cupy.fft.fft2, a, norm)
+
+    def ifft2(self, a, norm: str = "ortho"):  # pragma: no cover - GPU only
+        return self._run(_cupy.fft.ifft2, a, norm)
+
+    @staticmethod
+    def _run(transform, a, norm):  # pragma: no cover - GPU only
+        host_input = not isinstance(a, _cupy.ndarray)
+        out = transform(_cupy.asarray(a), norm=norm, axes=(-2, -1))
+        target = ArrayBackend.complex_dtype_of(np.asarray(a) if host_input else a)
+        if out.dtype != target:
+            out = out.astype(target)
+        return _cupy.asnumpy(out) if host_input else out

@@ -70,6 +70,10 @@ class HaloExchangeReconstructor:
     enforce_tile_constraint:
         Raise :class:`ScalabilityError` in the "NA" regime (default True,
         faithful to the algorithm; disable only for diagnostics).
+    backend / dtype:
+        Compute backend and precision policy for the numeric engine
+        (see :mod:`repro.backend`); ``None`` resolves the ambient
+        defaults.
     """
 
     def __init__(
@@ -82,6 +86,8 @@ class HaloExchangeReconstructor:
         halo: Union[str, int] = "exact",
         inner_sweeps: int = 1,
         enforce_tile_constraint: bool = True,
+        backend: Optional[str] = None,
+        dtype: Optional[str] = None,
     ) -> None:
         if iterations <= 0:
             raise ValueError("iterations must be positive")
@@ -95,6 +101,8 @@ class HaloExchangeReconstructor:
         self.halo = halo
         self.inner_sweeps = inner_sweeps
         self.enforce_tile_constraint = enforce_tile_constraint
+        self.backend = backend
+        self.dtype = dtype
 
     # ------------------------------------------------------------------
     def decompose(self, dataset: PtychoDataset) -> Decomposition:
@@ -186,7 +194,12 @@ class HaloExchangeReconstructor:
             warn_legacy_callback(type(self).__name__)
         decomp = self.decompose(dataset)
         engine = NumericEngine(
-            dataset, decomp, lr=self.lr, initial_volume=initial_volume
+            dataset,
+            decomp,
+            lr=self.lr,
+            initial_volume=initial_volume,
+            backend=self.backend,
+            dtype=self.dtype,
         )
         schedule = self.build_iteration_schedule(decomp)
 

@@ -17,6 +17,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.backend.base import resolve_backend, resolve_precision
 from repro.core.reconstructor import ReconstructionResult
 from repro.core.decomposition import decompose_gradient
 from repro.core.observers import (
@@ -40,6 +41,9 @@ class SerialReconstructor:
         Step size (same meaning as the distributed reconstructors).
     scheme:
         ``"batch"`` or ``"sgd"`` (see module docstring).
+    backend / dtype:
+        Compute backend and precision policy (see :mod:`repro.backend`);
+        ``None`` resolves the ambient defaults.
     """
 
     def __init__(
@@ -49,6 +53,8 @@ class SerialReconstructor:
         scheme: str = "batch",
         refine_probe: bool = False,
         probe_lr: Optional[float] = None,
+        backend: Optional[str] = None,
+        dtype: Optional[str] = None,
     ) -> None:
         if iterations <= 0:
             raise ValueError("iterations must be positive")
@@ -61,6 +67,8 @@ class SerialReconstructor:
         self.scheme = scheme
         self.refine_probe = refine_probe
         self.probe_lr = probe_lr
+        self.backend = backend
+        self.dtype = dtype
 
     # ------------------------------------------------------------------
     def reconstruct(
@@ -83,16 +91,19 @@ class SerialReconstructor:
         """
         if callback is not None:
             warn_legacy_callback(type(self).__name__)
-        model = dataset.multislice_model()
+        backend = resolve_backend(self.backend)
+        precision = resolve_precision(self.dtype)
+        cdtype = precision.complex_dtype
+        model = dataset.multislice_model(backend=backend, dtype=precision)
         probe = (
-            np.asarray(initial_probe, dtype=np.complex128).copy()
+            np.asarray(initial_probe, dtype=cdtype).copy()
             if initial_probe is not None
-            else dataset.probe.array.copy()
+            else np.asarray(dataset.probe.array, dtype=cdtype).copy()
         )
         volume = (
-            np.asarray(initial_volume, dtype=np.complex128).copy()
+            np.asarray(initial_volume, dtype=cdtype).copy()
             if initial_volume is not None
-            else dataset.initial_object()
+            else dataset.initial_object(dtype=precision)
         )
         gradient = np.zeros_like(volume)
         probe_gradient = np.zeros_like(probe)
@@ -135,7 +146,7 @@ class SerialReconstructor:
                 sl = window.global_slices()
                 patch = volume[:, sl[0], sl[1]]
                 result = model.cost_and_gradient(
-                    probe, patch, dataset.amplitude(i),
+                    probe, patch, dataset.amplitude(i, precision.real_dtype),
                     compute_probe_grad=self.refine_probe,
                 )
                 cost += result.cost
@@ -170,7 +181,9 @@ class SerialReconstructor:
     ) -> float:
         """The true objective ``F(V)`` of Eq. (1) for an arbitrary volume
         (used to compare convergence across algorithms on equal footing)."""
-        model = dataset.multislice_model()
+        model = dataset.multislice_model(
+            backend=self.backend, dtype=self.dtype
+        )
         probe = dataset.probe.array
         total = 0.0
         for i, window in enumerate(dataset.scan.windows):

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.api import solver_names
+from repro.backend import backend_names
 from repro.experiments import experiment_names
 
 __all__ = ["main", "build_parser"]
@@ -122,6 +123,14 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--sync-period", default=_REC_DEFAULTS["sync_period"])
     rec.add_argument("--algorithm", choices=solver_names(), default="gd")
     rec.add_argument("--refine-probe", action="store_true")
+    rec.add_argument("--backend", choices=backend_names(), default=None,
+                     help="compute backend (default: REPRO_BACKEND env or "
+                          "numpy); with --config, overrides the config's "
+                          "backend for replay on different hardware")
+    rec.add_argument("--dtype", choices=["complex64", "complex128"],
+                     default=None,
+                     help="compute precision (default: REPRO_DTYPE env or "
+                          "complex128); complex64 halves memory")
     rec.add_argument("--resume", default=None,
                      help="warm-start from a saved result archive")
     rec.add_argument("--out", required=True)
@@ -193,8 +202,16 @@ def _config_from_flags(args, dataset) -> "ReconstructionConfig":
                 f"{', '.join(sorted(accepted))})"
             )
     run_params = {"resume": args.resume} if args.resume is not None else {}
+    from repro.backend import default_backend_name, default_dtype_name
+
+    # Record the *resolved* compute configuration (flag, else ambient
+    # default) so the embedded config replays on what actually ran.
     return ReconstructionConfig(
-        solver=args.algorithm, solver_params=params, run_params=run_params
+        solver=args.algorithm,
+        solver_params=params,
+        run_params=run_params,
+        backend=args.backend or default_backend_name(),
+        dtype=args.dtype or default_dtype_name(),
     )
 
 
@@ -214,6 +231,7 @@ def _cmd_reconstruct(args) -> int:
 
     from repro.api import ReconstructionConfig, reconstruct
     from repro.api.registry import SolverCapabilityError, UnknownSolverError
+    from repro.backend import BackendUnavailableError
     from repro.io import load_dataset, save_result
 
     dataset = load_dataset(args.dataset)
@@ -234,19 +252,26 @@ def _cmd_reconstruct(args) -> int:
             config = ReconstructionConfig.from_json(config_text)
             if args.resume is not None:
                 config = config.with_run_params(resume=args.resume)
+            if args.backend is not None or args.dtype is not None:
+                # Like --resume, the compute flags *override* a config
+                # (replay an archived run on different hardware).
+                config = config.with_compute(
+                    backend=args.backend, dtype=args.dtype
+                )
         else:
             config = _config_from_flags(args, dataset)
         resume = config.run_params.get("resume")
         if resume is not None:
             print(f"resuming from {resume}")
         result = reconstruct(dataset, config)
-    except (UnknownSolverError, SolverCapabilityError, ValueError,
-            TypeError) as exc:
+    except (UnknownSolverError, SolverCapabilityError,
+            BackendUnavailableError, ValueError, TypeError) as exc:
         print(f"reconstruct: error: {exc}", file=sys.stderr)
         return 2
 
     path = save_result(args.out, result, config=config)
     print(f"solver: {config.solver}")
+    print(f"backend: {config.backend} ({config.dtype})")
     print(f"cost: {result.history[0]:.4e} -> {result.history[-1]:.4e} "
           f"over {len(result.history)} iterations")
     print(f"messages: {result.messages}, "

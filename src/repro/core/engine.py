@@ -19,10 +19,16 @@ synchronous-mode runs match the serial solver bit-for-bit (tested).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.backend.base import (
+    ArrayBackend,
+    PrecisionPolicy,
+    resolve_backend,
+    resolve_precision,
+)
 from repro.core.decomposition import Decomposition
 from repro.core.passes import TAG_NEIGHBOR
 from repro.parallel.comm import VirtualComm
@@ -96,6 +102,14 @@ class NumericEngine:
         Warm-start the reconstruction from a full ``(slices, rows, cols)``
         volume (each rank receives its extended-tile restriction);
         defaults to vacuum.
+    backend / dtype:
+        Compute backend and precision policy (see :mod:`repro.backend`);
+        ``None`` resolves the ambient defaults.  Every per-rank array —
+        extended-tile volume, accumulation buffers, probe copies — is
+        allocated at the policy's complex width, so the memory tracker
+        measures the width actually in use; the default
+        (``numpy``/``complex128``) is bit-identical to the historical
+        hard-wired behaviour.
     """
 
     def __init__(
@@ -109,6 +123,8 @@ class NumericEngine:
         initial_probe: Optional[np.ndarray] = None,
         refine_probe: bool = False,
         initial_volume: Optional[np.ndarray] = None,
+        backend: Union[str, ArrayBackend, None] = None,
+        dtype: Union[str, PrecisionPolicy, None] = None,
     ) -> None:
         self.dataset = dataset
         self.decomp = decomp
@@ -117,16 +133,23 @@ class NumericEngine:
         self.memory = memory if memory is not None else MemoryTracker(decomp.n_ranks)
         self.compensate_local = compensate_local
         self.refine_probe = refine_probe
-        self.model: MultisliceModel = dataset.multislice_model()
+        self.backend = resolve_backend(backend)
+        self.precision = resolve_precision(dtype)
+        self._cdtype = self.precision.complex_dtype
+        self.model: MultisliceModel = dataset.multislice_model(
+            backend=self.backend, dtype=self.precision
+        )
         if initial_probe is not None:
             expected = dataset.probe.array.shape
             if initial_probe.shape != expected:
                 raise ValueError(
                     f"initial probe shape {initial_probe.shape} != {expected}"
                 )
-            self.probe = np.asarray(initial_probe, dtype=np.complex128)
+            self.probe = np.asarray(initial_probe, dtype=self._cdtype)
         else:
-            self.probe = dataset.probe.array
+            self.probe = np.asarray(
+                dataset.probe.array, dtype=self._cdtype
+            )
         self.n_slices = dataset.n_slices
         if initial_volume is not None:
             expected = (self.n_slices, *dataset.object_shape)
@@ -159,13 +182,13 @@ class NumericEngine:
         if self._initial_volume is not None:
             sl = tile.ext.slices_in(self.decomp.bounds)
             volume = np.array(
-                self._initial_volume[:, sl[0], sl[1]], dtype=np.complex128
+                self._initial_volume[:, sl[0], sl[1]], dtype=self._cdtype
             )
         else:
-            volume = np.ones(shape, dtype=np.complex128)
-        accbuf = np.zeros(shape, dtype=np.complex128)
+            volume = np.ones(shape, dtype=self._cdtype)
+        accbuf = np.zeros(shape, dtype=self._cdtype)
         localbuf = (
-            np.zeros(shape, dtype=np.complex128) if self.compensate_local else None
+            np.zeros(shape, dtype=self._cdtype) if self.compensate_local else None
         )
         # Distribute the measurement shard: each rank stores only the
         # amplitudes of the probes it evaluates (own + extras for the
@@ -187,8 +210,8 @@ class NumericEngine:
         self.memory.allocate_array(tile.rank, "accbuf", accbuf)
         meas_bytes = sum(int(m.nbytes) for m in measurements.values())
         self.memory.allocate(tile.rank, "measurements", meas_bytes)
-        self.memory.allocate(
-            tile.rank, "probe", int(self.probe.nbytes)
+        self.memory.allocate_typed(
+            tile.rank, "probe", self.probe.shape, self.probe.dtype
         )
         if localbuf is not None:
             self.memory.allocate_array(tile.rank, "localbuf", localbuf)
@@ -232,7 +255,7 @@ class NumericEngine:
             sl = window.slices_in(state.ext)
             return state.volume[:, sl[0], sl[1]]
         patch = np.ones(
-            (self.n_slices, window.height, window.width), dtype=np.complex128
+            (self.n_slices, window.height, window.width), dtype=self._cdtype
         )
         if inner is not None:
             src = inner.slices_in(state.ext)
@@ -271,7 +294,9 @@ class NumericEngine:
         for idx in op.probe_indices:
             window = self.dataset.scan.window_of(idx)
             patch = self._read_patch(state, window)
-            measured = np.asarray(state.measurements[idx], dtype=np.float64)
+            measured = np.asarray(
+                state.measurements[idx], dtype=self.precision.real_dtype
+            )
             result = self.model.cost_and_gradient(
                 probe, patch, measured,
                 compute_probe_grad=self.refine_probe,
@@ -297,7 +322,9 @@ class NumericEngine:
         for idx in op.probe_indices:
             window = self.dataset.scan.window_of(idx)
             patch = self._read_patch(state, window)
-            measured = np.asarray(state.measurements[idx], dtype=np.float64)
+            measured = np.asarray(
+                state.measurements[idx], dtype=self.precision.real_dtype
+            )
             result = self.model.cost_and_gradient(probe, patch, measured)
             state.cost_accum += result.cost
             self._scatter(
@@ -332,7 +359,7 @@ class NumericEngine:
     def _op_allreduce(self, op: AllReduceGradient) -> None:
         bounds = self.decomp.bounds
         total = np.zeros(
-            (self.n_slices, bounds.height, bounds.width), dtype=np.complex128
+            (self.n_slices, bounds.height, bounds.width), dtype=self._cdtype
         )
         for state in self.states:
             sl = state.ext.slices_in(bounds)

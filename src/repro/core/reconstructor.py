@@ -171,6 +171,11 @@ class GradientDecompositionReconstructor:
         per iteration (the probe is one small global array, so the
         all-reduce the paper rejects for the *volume* is the right tool
         here), and applied with step ``probe_lr``.
+    backend / dtype:
+        Compute backend name (or instance) and precision policy for the
+        numeric engine — see :mod:`repro.backend`.  ``None`` resolves
+        the ambient defaults (``numpy``/``complex128`` unless the
+        ``REPRO_BACKEND``/``REPRO_DTYPE`` environment says otherwise).
     """
 
     def __init__(
@@ -186,6 +191,8 @@ class GradientDecompositionReconstructor:
         compensate_local: bool = False,
         refine_probe: bool = False,
         probe_lr: Optional[float] = None,
+        backend: Optional[str] = None,
+        dtype: Optional[str] = None,
     ) -> None:
         if iterations <= 0:
             raise ValueError("iterations must be positive")
@@ -208,6 +215,8 @@ class GradientDecompositionReconstructor:
         self.compensate_local = compensate_local
         self.refine_probe = refine_probe
         self.probe_lr = probe_lr
+        self.backend = backend
+        self.dtype = dtype
 
     # ------------------------------------------------------------------
     def decompose(self, dataset: PtychoDataset) -> Decomposition:
@@ -331,6 +340,8 @@ class GradientDecompositionReconstructor:
             initial_probe=initial_probe,
             refine_probe=self.refine_probe,
             initial_volume=initial_volume,
+            backend=self.backend,
+            dtype=self.dtype,
         )
         schedule = self.build_iteration_schedule(decomp)
 

@@ -50,10 +50,27 @@ class FrcCurve:
         return 1.0 / (2.0 * cut)
 
 
+def _as_complex(image: np.ndarray) -> np.ndarray:
+    """Promote to the *matching* complex precision: float32/float16 →
+    complex64, float64 → complex128, complex untouched.  (The historical
+    force-cast to complex128 silently doubled the transform cost of
+    complex64 reconstructions.)"""
+    arr = np.asarray(image)
+    if arr.dtype.kind == "c":
+        return arr
+    if arr.dtype in (np.float32, np.float16):
+        return arr.astype(np.complex64)
+    return arr.astype(np.complex128)
+
+
 def fourier_ring_correlation(
     image_a: np.ndarray, image_b: np.ndarray, n_rings: Optional[int] = None
 ) -> FrcCurve:
-    """FRC between two (2-D, possibly complex) images of equal shape."""
+    """FRC between two (2-D, real or complex) images of equal shape.
+
+    Transforms run at each image's own precision (ring statistics always
+    accumulate in double, so the curve itself is float64 either way).
+    """
     if image_a.shape != image_b.shape:
         raise ValueError(f"shape mismatch: {image_a.shape} vs {image_b.shape}")
     if image_a.ndim != 2:
@@ -64,8 +81,8 @@ def fourier_ring_correlation(
     if n_rings < 2:
         raise ValueError("images too small for ring statistics")
 
-    fa = fft2c(np.asarray(image_a, dtype=np.complex128))
-    fb = fft2c(np.asarray(image_b, dtype=np.complex128))
+    fa = fft2c(_as_complex(image_a))
+    fb = fft2c(_as_complex(image_b))
 
     ky = np.fft.fftshift(np.fft.fftfreq(rows))[:, None]
     kx = np.fft.fftshift(np.fft.fftfreq(cols))[None, :]

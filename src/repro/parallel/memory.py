@@ -51,6 +51,17 @@ class MemoryTracker:
         """Convenience: record the byte size of an ndarray."""
         self.allocate(rank, name, int(array.nbytes))
 
+    def allocate_typed(
+        self, rank: int, name: str, shape, dtype
+    ) -> None:
+        """Convenience: record ``prod(shape)`` elements of ``dtype``
+        without materializing the array — bytes-per-element comes from
+        the dtype (a complex64 policy halves what complex128 would
+        book), which is how model-side accounting stays honest about
+        precision."""
+        n_elements = int(np.prod(shape, dtype=np.int64)) if len(shape) else 1
+        self.allocate(rank, name, n_elements * np.dtype(dtype).itemsize)
+
     def free(self, rank: int, name: str) -> None:
         """Release a named allocation."""
         ledger = self._ledger(rank)

@@ -31,6 +31,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.parallel.network import LinkSpec
 
 __all__ = ["MachineSpec", "SUMMIT"]
@@ -69,8 +71,14 @@ class MachineSpec:
     speed_jitter: float = 0.18
     #: Fixed framework overhead resident on every GPU (context, plans).
     fixed_overhead_bytes: float = 60e6
-    #: FFT workspace: this many detector-sized complex128 buffers.
+    #: FFT workspace: this many detector-sized complex buffers, at
+    #: ``workspace_dtype`` width.
     workspace_buffers: int = 4
+    #: Element type of the FFT scratch buffers.  The paper's stack
+    #: transforms at double precision even though the volume is *stored*
+    #: complex64, hence the complex128 default; a complex64 compute
+    #: policy (see :class:`repro.backend.PrecisionPolicy`) halves this.
+    workspace_dtype: str = "complex128"
 
     def __post_init__(self) -> None:
         if self.effective_flops <= 0 or self.memory_bandwidth <= 0:
@@ -79,6 +87,10 @@ class MachineSpec:
             raise ValueError("gpu_memory_bytes must be positive")
         if not (0.0 <= self.speed_jitter < 1.0):
             raise ValueError("speed_jitter must be in [0, 1)")
+        if np.dtype(self.workspace_dtype).kind != "c":
+            raise ValueError(
+                f"workspace_dtype must be complex, got {self.workspace_dtype!r}"
+            )
 
     # ------------------------------------------------------------------
     def intra_link(self) -> LinkSpec:
@@ -92,6 +104,12 @@ class MachineSpec:
     def collective_link(self) -> LinkSpec:
         """Effective all-reduce link (see ``collective_bw``)."""
         return LinkSpec(self.collective_latency_s, self.collective_bw)
+
+    def workspace_bytes(self, detector_px: int) -> float:
+        """FFT scratch bytes for one rank (``workspace_buffers``
+        detector-sized buffers at ``workspace_dtype`` width)."""
+        itemsize = np.dtype(self.workspace_dtype).itemsize
+        return float(self.workspace_buffers * detector_px**2 * itemsize)
 
     def pressure_factor(self, working_set_bytes: float) -> float:
         """Compute-time multiplier from memory/cache pressure."""

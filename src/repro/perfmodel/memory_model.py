@@ -10,12 +10,17 @@ measurements       ``n_probes(rank) * det^2 * meas_itemsize``
 volume (ext tile)  ``ext.area * n_slices * volume_itemsize``
 gradient buffer    same as volume (Gradient Decomposition only)
 probe              ``det^2 * volume_itemsize``
-workspace          ``workspace_buffers * det^2 * 16`` (FFT scratch)
+workspace          ``machine.workspace_bytes(det)`` (FFT scratch at the
+                   machine's ``workspace_dtype`` width)
 fixed overhead     framework/context constant
 =================  =====================================================
 
-Full-size defaults (float16 measurements, complex64 volume) follow the
-paper's implementation constraints: the large dataset at 6 GPUs must fit
+Every bytes-per-element factor is parameterized: measurement width from
+the spec's ``measurement_dtype``, volume width from the spec's
+``volume_dtype`` (or an explicit precision policy / itemsize override),
+workspace width from the machine's ``workspace_dtype``.  Full-size
+defaults (float16 measurements, complex64 volume) follow the paper's
+implementation constraints: the large dataset at 6 GPUs must fit
 measurements + tile + buffer in ~9 GB (Table III), which float32
 measurements would not.
 """
@@ -23,10 +28,11 @@ measurements would not.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Union
 
 import numpy as np
 
+from repro.backend.base import PrecisionPolicy
 from repro.core.decomposition import Decomposition
 from repro.perfmodel.machine import MachineSpec, SUMMIT
 from repro.physics.dataset import DatasetSpec
@@ -79,9 +85,16 @@ class MemoryModel:
     machine:
         Supplies workspace/fixed-overhead constants.
     measurement_itemsize / volume_itemsize:
-        Override storage precision (the numeric engine runs complex128
-        for accuracy; the full-scale model uses the paper's complex64 +
-        float16 — tests pass engine-matching itemsizes).
+        Override storage precision per element; by default both derive
+        from the spec (``measurement_dtype`` / ``volume_dtype``).  Tests
+        comparing against the numeric engine pass engine-matching
+        itemsizes (the engine's compute precision defaults to
+        complex128).
+    precision:
+        A :class:`repro.backend.PrecisionPolicy` (or its name) deriving
+        ``volume_itemsize`` instead of the spec's storage dtype —
+        convenient for "what does this run cost at complex64?"
+        questions.  Mutually exclusive with ``volume_itemsize``.
     include_fixed:
         Disable to model *algorithmic* memory only (used when comparing
         against the numeric engine, which has no framework overhead).
@@ -92,9 +105,10 @@ class MemoryModel:
         spec: DatasetSpec,
         machine: MachineSpec = SUMMIT,
         measurement_itemsize: int | None = None,
-        volume_itemsize: int = 8,
+        volume_itemsize: int | None = None,
         include_fixed: bool = True,
         needs_gradient_buffer: bool = True,
+        precision: Union[str, PrecisionPolicy, None] = None,
     ) -> None:
         self.spec = spec
         self.machine = machine
@@ -103,7 +117,18 @@ class MemoryModel:
             if measurement_itemsize is not None
             else np.dtype(spec.measurement_dtype).itemsize
         )
-        self.volume_itemsize = volume_itemsize
+        if volume_itemsize is not None and precision is not None:
+            raise ValueError(
+                "pass volume_itemsize or precision, not both"
+            )
+        if volume_itemsize is not None:
+            self.volume_itemsize = volume_itemsize
+        elif precision is not None:
+            self.volume_itemsize = PrecisionPolicy.from_name(
+                precision
+            ).complex_itemsize
+        else:
+            self.volume_itemsize = np.dtype(spec.volume_dtype).itemsize
         self.include_fixed = include_fixed
         self.needs_gradient_buffer = needs_gradient_buffer
 
@@ -119,7 +144,7 @@ class MemoryModel:
             volume=volume,
             gradient_buffer=volume if self.needs_gradient_buffer else 0.0,
             probe=det2 * self.volume_itemsize,
-            workspace=self.machine.workspace_buffers * det2 * 16.0,
+            workspace=self.machine.workspace_bytes(self.spec.detector_px),
             fixed=self.machine.fixed_overhead_bytes if self.include_fixed else 0.0,
         )
 

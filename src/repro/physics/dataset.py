@@ -21,10 +21,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from repro.backend.base import ArrayBackend, PrecisionPolicy, resolve_precision
 from repro.physics.multislice import MultisliceModel
 from repro.physics.potential import SpecimenSpec, make_specimen
 from repro.physics.probe import Probe, ProbeSpec, make_probe
@@ -47,6 +48,14 @@ class DatasetSpec:
     ``object_shape`` is ``(rows, cols)`` of the reconstruction V in pixels;
     ``detector_px`` is the side length of each diffraction measurement,
     which equals the probe-window side in this implementation.
+
+    ``volume_dtype`` is the *storage* precision of the reconstruction
+    volume — ``complex64`` by default, matching the paper's
+    implementation constraint (the large dataset at 6 GPUs only fits at
+    8 bytes per voxel, Table III) — and drives every byte-accounting
+    property here and in :mod:`repro.perfmodel`.  Compute precision is a
+    separate knob (:class:`repro.backend.PrecisionPolicy`): the numeric
+    engine defaults to ``complex128`` for bit-exact reference runs.
     """
 
     name: str
@@ -61,12 +70,18 @@ class DatasetSpec:
     defocus_pm: float = 25_000.0
     overlap_ratio: float = 0.85
     measurement_dtype: str = "float16"
+    volume_dtype: str = "complex64"
 
     def __post_init__(self) -> None:
         if self.detector_px <= 0:
             raise ValueError("detector_px must be positive")
         if self.scan_grid[0] <= 0 or self.scan_grid[1] <= 0:
             raise ValueError("scan_grid entries must be positive")
+        if self.volume_dtype not in ("complex64", "complex128"):
+            raise ValueError(
+                f"volume_dtype must be 'complex64' or 'complex128', "
+                f"got {self.volume_dtype!r}"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -112,9 +127,11 @@ class DatasetSpec:
 
     @property
     def volume_bytes_total(self) -> int:
-        """Bytes of the full reconstruction volume V (complex64)."""
+        """Bytes of the full reconstruction volume V at ``volume_dtype``
+        (8 bytes/voxel for the default complex64 storage)."""
         rows, cols = self.object_shape
-        return rows * cols * self.n_slices * 8
+        itemsize = np.dtype(self.volume_dtype).itemsize
+        return rows * cols * self.n_slices * itemsize
 
     @property
     def voxels_total(self) -> int:
@@ -256,24 +273,41 @@ class PtychoDataset:
         """Multislice depth of the reconstruction volume."""
         return self.spec.n_slices
 
-    def multislice_model(self) -> MultisliceModel:
-        """The forward model matching this acquisition's geometry."""
+    def multislice_model(
+        self,
+        backend: Union[str, ArrayBackend, None] = None,
+        dtype: Union[str, PrecisionPolicy, None] = None,
+    ) -> MultisliceModel:
+        """The forward model matching this acquisition's geometry,
+        executing on ``backend`` at ``dtype`` precision (ambient defaults
+        when ``None``; see :mod:`repro.backend`)."""
         return MultisliceModel(
             window=self.spec.detector_px,
             n_slices=self.spec.n_slices,
             pixel_size_pm=self.spec.pixel_size_pm,
             wavelength_pm=self.probe.spec.wavelength_pm,
             slice_thickness_pm=self.spec.slice_thickness_pm,
+            backend=backend,
+            dtype=dtype,
         )
 
-    def amplitude(self, index: int) -> np.ndarray:
-        """Measured amplitude ``|y_i|`` as float64 (compute precision)."""
-        return np.asarray(self.amplitudes[index], dtype=np.float64)
+    def amplitude(
+        self, index: int, dtype: Union[str, np.dtype, type] = np.float64
+    ) -> np.ndarray:
+        """Measured amplitude ``|y_i|`` at compute precision (float64 by
+        default; pass the precision policy's ``real_dtype`` for the
+        complex64 fast path)."""
+        return np.asarray(self.amplitudes[index], dtype=dtype)
 
-    def initial_object(self) -> np.ndarray:
-        """Flat (vacuum) initial guess for the reconstruction volume."""
+    def initial_object(
+        self, dtype: Union[str, PrecisionPolicy, None] = None
+    ) -> np.ndarray:
+        """Flat (vacuum) initial guess for the reconstruction volume at
+        the given compute precision (ambient default: ``complex128``
+        unless ``REPRO_DTYPE`` says otherwise)."""
         rows, cols = self.object_shape
-        return np.ones((self.n_slices, rows, cols), dtype=np.complex128)
+        cdtype = resolve_precision(dtype).complex_dtype
+        return np.ones((self.n_slices, rows, cols), dtype=cdtype)
 
 
 def simulate_dataset(

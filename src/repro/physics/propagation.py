@@ -14,10 +14,16 @@ propagation with ``conj(H)``, used by the analytic gradient.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Tuple, Union
 
 import numpy as np
 
+from repro.backend.base import (
+    ArrayBackend,
+    PrecisionPolicy,
+    resolve_backend,
+    resolve_precision,
+)
 from repro.utils.fftutils import fft2c, fftfreq_grid, ifft2c
 
 __all__ = ["FresnelPropagator"]
@@ -41,6 +47,11 @@ class FresnelPropagator:
         multislice anti-aliasing choice).  Frequencies beyond the limit are
         zeroed, making the operator a contraction there; inside the band it
         is unitary.
+    backend / dtype:
+        Compute backend and precision policy (see :mod:`repro.backend`);
+        ``None`` resolves the ambient defaults.  The kernel is stored at
+        the policy's complex width so a ``complex64`` field stays
+        ``complex64`` through propagation.
     """
 
     def __init__(
@@ -50,6 +61,9 @@ class FresnelPropagator:
         wavelength_pm: float,
         dz_pm: float,
         bandlimit: float = 2.0 / 3.0,
+        *,
+        backend: Union[str, ArrayBackend, None] = None,
+        dtype: Union[str, PrecisionPolicy, None] = None,
     ) -> None:
         if pixel_size_pm <= 0 or wavelength_pm <= 0:
             raise ValueError("pixel size and wavelength must be positive")
@@ -60,6 +74,8 @@ class FresnelPropagator:
         self.wavelength_pm = float(wavelength_pm)
         self.dz_pm = float(dz_pm)
         self.bandlimit = float(bandlimit)
+        self.backend = resolve_backend(backend)
+        self.precision = resolve_precision(dtype)
 
         ky, kx = fftfreq_grid(self.shape, self.pixel_size_pm)
         k2 = ky * ky + kx * kx
@@ -69,7 +85,7 @@ class FresnelPropagator:
         # quadratic phase at the field corners.
         k_nyq = 0.5 / self.pixel_size_pm
         kernel[np.sqrt(k2) > self.bandlimit * k_nyq] = 0.0
-        self._kernel = kernel.astype(np.complex128)
+        self._kernel = kernel.astype(self.precision.complex_dtype)
         self._kernel_conj = np.conj(self._kernel)
 
     @property
@@ -79,12 +95,14 @@ class FresnelPropagator:
 
     def forward(self, field: np.ndarray) -> np.ndarray:
         """Propagate ``field`` forward by ``dz_pm``."""
-        return ifft2c(self._kernel * fft2c(field))
+        b = self.backend
+        return ifft2c(self._kernel * fft2c(field, b), b)
 
     def adjoint(self, field: np.ndarray) -> np.ndarray:
         """Adjoint of :meth:`forward` (= backward propagation for a unitary
         kernel); used when back-propagating gradients through slices."""
-        return ifft2c(self._kernel_conj * fft2c(field))
+        b = self.backend
+        return ifft2c(self._kernel_conj * fft2c(field, b), b)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,37 +1,57 @@
-"""Centered, unitary FFT helpers.
+"""Centered, unitary FFT helpers — a thin dispatch onto the active
+compute backend.
 
 All transforms in the library use the ``norm="ortho"`` convention so the
 adjoint of the forward FFT is exactly the inverse FFT — the property the
-analytic multislice gradient relies on.  The ``fft2c``/``ifft2c`` pair keeps
-the zero-frequency component at the array center (detector convention).
+analytic multislice gradient relies on.  The ``fft2c``/``ifft2c`` pair
+keeps the zero-frequency component at the array center (detector
+convention).
+
+Execution (which FFT library, how many workers, what precision the
+transform preserves) belongs to :mod:`repro.backend`: pass ``backend=``
+explicitly, or leave it ``None`` for ambient resolution
+(``REPRO_BACKEND`` environment variable, else the ``numpy`` default —
+which is bit-identical to the historical hard-wired ``np.fft`` path).
+Both helpers preserve single precision: ``complex64`` in, ``complex64``
+out (``np.fft`` alone silently upcasts to ``complex128``).
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from repro.backend.base import ArrayBackend, resolve_backend
+
 __all__ = ["fft2c", "ifft2c", "fftfreq_grid"]
 
+_BackendSpec = Union[str, ArrayBackend, None]
 
-def fft2c(field: np.ndarray) -> np.ndarray:
+
+def fft2c(field: np.ndarray, backend: _BackendSpec = None) -> np.ndarray:
     """Centered unitary 2-D FFT over the last two axes.
 
     Input and output have the zero frequency / real-space origin at the
-    array center, matching how a detector image is displayed.
+    array center, matching how a detector image is displayed.  Executed
+    by ``backend`` (ambient default when ``None``); output precision
+    matches input precision.
     """
+    b = resolve_backend(backend)
+    # norm is passed explicitly: unitarity is *this* module's invariant,
+    # never delegated to a backend's default.
     return np.fft.fftshift(
-        np.fft.fft2(np.fft.ifftshift(field, axes=(-2, -1)), norm="ortho"),
+        b.fft2(np.fft.ifftshift(field, axes=(-2, -1)), norm="ortho"),
         axes=(-2, -1),
     )
 
 
-def ifft2c(field: np.ndarray) -> np.ndarray:
-    """Centered unitary 2-D inverse FFT over the last two axes (adjoint of
-    :func:`fft2c`)."""
+def ifft2c(field: np.ndarray, backend: _BackendSpec = None) -> np.ndarray:
+    """Centered unitary 2-D inverse FFT over the last two axes (adjoint
+    of :func:`fft2c`)."""
+    b = resolve_backend(backend)
     return np.fft.fftshift(
-        np.fft.ifft2(np.fft.ifftshift(field, axes=(-2, -1)), norm="ortho"),
+        b.ifft2(np.fft.ifftshift(field, axes=(-2, -1)), norm="ortho"),
         axes=(-2, -1),
     )
 

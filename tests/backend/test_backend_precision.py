@@ -1,0 +1,57 @@
+"""PrecisionPolicy: resolution, itemsizes, ambient defaults."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    DOUBLE,
+    ENV_DTYPE,
+    SINGLE,
+    PrecisionPolicy,
+    default_dtype_name,
+    resolve_precision,
+)
+
+
+class TestPolicies:
+    def test_double_reference(self):
+        assert DOUBLE.name == "complex128"
+        assert DOUBLE.complex_dtype == np.complex128
+        assert DOUBLE.real_dtype == np.float64
+        assert DOUBLE.complex_itemsize == 16
+        assert DOUBLE.real_itemsize == 8
+
+    def test_single_fast_path(self):
+        assert SINGLE.name == "complex64"
+        assert SINGLE.complex_dtype == np.complex64
+        assert SINGLE.real_dtype == np.float32
+        assert SINGLE.complex_itemsize == 8
+        assert SINGLE.real_itemsize == 4
+
+    def test_from_name(self):
+        assert PrecisionPolicy.from_name("complex128") is DOUBLE
+        assert PrecisionPolicy.from_name("complex64") is SINGLE
+
+    def test_policy_passthrough(self):
+        assert PrecisionPolicy.from_name(SINGLE) is SINGLE
+        assert resolve_precision(DOUBLE) is DOUBLE
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="complex64"):
+            PrecisionPolicy.from_name("float32")
+
+
+class TestAmbientResolution:
+    def test_default_is_double(self, monkeypatch):
+        monkeypatch.delenv(ENV_DTYPE, raising=False)
+        assert resolve_precision(None) is DOUBLE
+        assert default_dtype_name() == "complex128"
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv(ENV_DTYPE, "complex64")
+        assert resolve_precision(None) is SINGLE
+        assert default_dtype_name() == "complex64"
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_DTYPE, "complex64")
+        assert resolve_precision("complex128") is DOUBLE

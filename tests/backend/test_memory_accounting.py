@@ -1,0 +1,134 @@
+"""Bytes-per-element accounting derives from the precision policy
+everywhere (dataset spec, machine workspace, memory model, tracker,
+engine) instead of hard-coding complex128."""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import decompose_gradient
+from repro.core.engine import NumericEngine
+from repro.parallel.memory import MemoryTracker
+from repro.perfmodel.machine import MachineSpec
+from repro.perfmodel.memory_model import MemoryModel
+from repro.physics.dataset import scaled_pbtio3_spec, small_pbtio3_spec
+
+
+class TestDatasetSpecBytes:
+    def test_volume_bytes_default_complex64(self):
+        spec = small_pbtio3_spec()
+        assert spec.volume_dtype == "complex64"
+        assert spec.volume_bytes_total == 1536 * 1536 * 100 * 8
+
+    def test_volume_bytes_follow_volume_dtype(self):
+        from dataclasses import replace
+
+        spec = replace(small_pbtio3_spec(), volume_dtype="complex128")
+        assert spec.volume_bytes_total == 1536 * 1536 * 100 * 16
+
+    def test_non_complex_volume_dtype_rejected(self):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError, match="volume_dtype"):
+            replace(small_pbtio3_spec(), volume_dtype="float32")
+
+    def test_initial_object_dtype(self, tiny_dataset):
+        assert tiny_dataset.initial_object().dtype == np.complex128
+        assert (
+            tiny_dataset.initial_object(dtype="complex64").dtype
+            == np.complex64
+        )
+
+    def test_amplitude_dtype(self, tiny_dataset):
+        assert tiny_dataset.amplitude(0).dtype == np.float64
+        assert tiny_dataset.amplitude(0, np.float32).dtype == np.float32
+
+
+class TestMachineWorkspace:
+    def test_default_complex128_scratch(self):
+        m = MachineSpec()
+        assert m.workspace_bytes(1024) == 4 * 1024**2 * 16
+
+    def test_single_precision_scratch_halves(self):
+        m = MachineSpec(workspace_dtype="complex64")
+        assert m.workspace_bytes(1024) == 4 * 1024**2 * 8
+
+    def test_non_complex_workspace_rejected(self):
+        with pytest.raises(ValueError, match="workspace_dtype"):
+            MachineSpec(workspace_dtype="float64")
+
+
+class TestMemoryModelPrecision:
+    @pytest.fixture()
+    def decomp(self, tiny_dataset):
+        return decompose_gradient(
+            tiny_dataset.scan, tiny_dataset.object_shape, n_ranks=4
+        )
+
+    def test_default_volume_itemsize_from_spec(self, tiny_dataset, decomp):
+        model = MemoryModel(tiny_dataset.spec)
+        assert model.volume_itemsize == 8  # spec's complex64 storage
+
+    def test_precision_parameter(self, tiny_dataset, decomp):
+        lo = MemoryModel(tiny_dataset.spec, precision="complex64")
+        hi = MemoryModel(tiny_dataset.spec, precision="complex128")
+        assert lo.volume_itemsize == 8
+        assert hi.volume_itemsize == 16
+        b_lo = lo.rank_breakdown(decomp, 0)
+        b_hi = hi.rank_breakdown(decomp, 0)
+        assert b_lo.volume * 2 == b_hi.volume
+        assert b_lo.gradient_buffer * 2 == b_hi.gradient_buffer
+        assert b_lo.measurements == b_hi.measurements  # float16 either way
+
+    def test_itemsize_override_still_wins(self, tiny_dataset):
+        assert MemoryModel(tiny_dataset.spec, volume_itemsize=16).volume_itemsize == 16
+
+    def test_both_overrides_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError, match="not both"):
+            MemoryModel(
+                tiny_dataset.spec, volume_itemsize=8, precision="complex64"
+            )
+
+
+class TestTrackerTyped:
+    def test_allocate_typed_bytes_per_element(self):
+        tracker = MemoryTracker(1)
+        tracker.allocate_typed(0, "buf64", (10, 10), np.complex64)
+        tracker.allocate_typed(0, "buf128", (10, 10), np.complex128)
+        breakdown = tracker.breakdown(0)
+        assert breakdown["buf64"] == 100 * 8
+        assert breakdown["buf128"] == 100 * 16
+
+    def test_allocate_typed_matches_real_array(self):
+        tracker = MemoryTracker(1)
+        arr = np.zeros((3, 5, 7), dtype=np.complex64)
+        tracker.allocate_typed(0, "typed", arr.shape, arr.dtype)
+        tracker.allocate_array(0, "real", arr)
+        b = tracker.breakdown(0)
+        assert b["typed"] == b["real"] == arr.nbytes
+
+
+class TestEngineCrossValidation:
+    """The analytic model with the engine's precision matches what the
+    engine *measures* — at both precisions (the seed test only covered
+    complex128)."""
+
+    @pytest.mark.parametrize("dtype", ["complex128", "complex64"])
+    def test_volume_bytes_match(self, tiny_dataset, dtype):
+        decomp = decompose_gradient(
+            tiny_dataset.scan, tiny_dataset.object_shape, n_ranks=4
+        )
+        engine = NumericEngine(tiny_dataset, decomp, lr=0.1, dtype=dtype)
+        model = MemoryModel(
+            tiny_dataset.spec,
+            precision=dtype,
+            measurement_itemsize=np.dtype(
+                tiny_dataset.spec.measurement_dtype
+            ).itemsize,
+            include_fixed=False,
+        )
+        for rank in range(decomp.n_ranks):
+            measured = engine.memory.breakdown(rank)
+            analytic = model.rank_breakdown(decomp, rank)
+            assert measured["volume"] == analytic.volume
+            assert measured["accbuf"] == analytic.gradient_buffer
+            assert measured["measurements"] == analytic.measurements
