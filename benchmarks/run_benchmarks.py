@@ -1,7 +1,8 @@
 #!/usr/bin/env python
-"""Backend x precision benchmark harness -> ``BENCH_backends.json``.
+"""Benchmark harness: backend x precision, and serial-vs-process runtime.
 
-Runs three benches for every available backend x dtype scenario:
+``--suite backends`` (default) -> ``BENCH_backends.json``.  Three
+benches for every available backend x dtype scenario:
 
 * ``batched_fft`` — the batched probe-window transform micro-kernel
   (the ``(n_slices, window, window)`` fft2c/ifft2c round trip that
@@ -11,10 +12,19 @@ Runs three benches for every available backend x dtype scenario:
 * ``small_recon`` — an end-to-end serial reconstruction on a scaled
   PbTiO3 acquisition.
 
+``--suite runtime`` -> ``BENCH_runtime.json``.  The gd solver end to
+end under the ``serial`` executor vs the ``process`` executor (each
+rank in a worker process, tile state in shared memory), reporting the
+multi-worker speedup.  On a single-CPU machine the expected speedup is
+~1x (the harness records ``cpu_count`` so readers can judge).
+
+``--suite all`` runs both.
+
 Wall times are best-of-``--repeats`` (min is the standard low-noise
-estimator for micro-benchmarks); every scenario's speedup is reported
-against the ``numpy``/``complex128`` baseline.  ``--smoke`` shrinks
-sizes and repeats so CI can exercise the harness in seconds.
+estimator for micro-benchmarks); speedups are reported against the
+suite baseline (``numpy``/``complex128``, resp. ``serial``).
+``--smoke`` shrinks sizes and repeats so CI can exercise the harness in
+seconds.
 
 Usage::
 
@@ -22,6 +32,8 @@ Usage::
     PYTHONPATH=src python benchmarks/run_benchmarks.py --smoke
     PYTHONPATH=src python benchmarks/run_benchmarks.py \
         --backends numpy,threaded --dtypes complex64 --out bench.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py \
+        --suite runtime --runtime-out BENCH_runtime.json
 """
 
 from __future__ import annotations
@@ -148,6 +160,75 @@ BENCHES = {
     "small_recon": bench_small_recon,
 }
 
+# ----------------------------------------------------------------------
+# Runtime suite: serial vs process executor on the gd solver
+# ----------------------------------------------------------------------
+#: (grid, detector, slices, n_ranks, iterations) of the gd runtime bench.
+#: Sized so per-iteration compute dominates the worker launch overhead
+#: (~60 ms) — the regime where a multi-core machine shows the speedup.
+RUNTIME_FULL_SIZES = {"gd_recon": ((12, 12), 32, 3, 4, 5)}
+RUNTIME_SMOKE_SIZES = {"gd_recon": ((4, 4), 16, 2, 4, 1)}
+RUNTIME_BASELINE = "serial"
+
+
+def bench_gd_runtime(executor, workers, sizes, repeats, dataset_cache={}):
+    """End-to-end gd reconstruction wall time under one executor.
+
+    The measurement includes executor launch (worker spawn + shared
+    memory setup) — that overhead is part of what a user pays, so hiding
+    it would overstate the speedup.
+    """
+    from repro.core.reconstructor import GradientDecompositionReconstructor
+
+    grid, detector, slices, n_ranks, iters = sizes
+    key = (grid, detector, slices)
+    if key not in dataset_cache:
+        spec = scaled_pbtio3_spec(
+            scan_grid=grid, detector_px=detector, n_slices=slices,
+            overlap_ratio=0.7,
+        )
+        dataset_cache[key] = simulate_dataset(spec, seed=7)
+    dataset = dataset_cache[key]
+    lr = suggest_lr(dataset, alpha=0.35)
+    solver = GradientDecompositionReconstructor(
+        n_ranks=n_ranks, iterations=iters, lr=lr, backend="numpy",
+        executor=executor, runtime_workers=workers,
+    )
+
+    def run():
+        solver.reconstruct(dataset)
+
+    return _best_of(run, repeats)
+
+
+def run_runtime_suite(sizes, repeats, workers=None):
+    results = []
+    sz = sizes["gd_recon"]
+    n_ranks = sz[3]
+    workers = workers if workers is not None else min(
+        n_ranks, os.cpu_count() or 1
+    )
+    scenarios = [("serial", None), ("process", workers)]
+    for executor, w in scenarios:
+        seconds = bench_gd_runtime(executor, w, sz, repeats)
+        results.append({
+            "bench": "gd_recon",
+            "executor": executor,
+            "workers": w if w is not None else 1,
+            "n_ranks": n_ranks,
+            "iterations": sz[4],
+            "seconds": seconds,
+        })
+    base = {
+        r["bench"]: r["seconds"]
+        for r in results
+        if r["executor"] == RUNTIME_BASELINE
+    }
+    for r in results:
+        ref = base.get(r["bench"])
+        r["speedup_vs_serial"] = ref / r["seconds"] if ref else None
+    return results
+
 
 def run_suite(backends, dtypes, sizes, repeats) -> List[Dict]:
     results: List[Dict] = []
@@ -179,18 +260,15 @@ def run_suite(backends, dtypes, sizes, repeats) -> List[Dict]:
     return results
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_backends.json")
-    parser.add_argument("--smoke", action="store_true",
-                        help="tiny sizes + few repeats (CI harness check)")
-    parser.add_argument("--backends", default=None,
-                        help="comma-separated subset (default: all available)")
-    parser.add_argument("--dtypes", default="complex128,complex64")
-    parser.add_argument("--repeats", type=int, default=None,
-                        help="best-of repeats (default: 5 full, 2 smoke)")
-    args = parser.parse_args(argv)
+def _machine_info():
+    return {
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+        "python": sys.version.split()[0],
+    }
 
+
+def _run_backend_suite(args) -> Path:
     backends = (
         args.backends.split(",") if args.backends
         else available_backend_names()
@@ -205,11 +283,7 @@ def main(argv=None) -> int:
         "schema": "repro-bench-backends/1",
         "mode": "smoke" if args.smoke else "full",
         "baseline": BASELINE,
-        "machine": {
-            "cpu_count": os.cpu_count(),
-            "numpy": np.__version__,
-            "python": sys.version.split()[0],
-        },
+        "machine": _machine_info(),
         "sizes": {k: list(v) for k, v in sizes.items()},
         "repeats": repeats,
         "results": results,
@@ -231,6 +305,74 @@ def main(argv=None) -> int:
         rows,
         title=f"backend benchmarks ({payload['mode']}) -> {out}",
     ))
+    return out
+
+
+def _run_runtime_suite(args) -> Path:
+    sizes = RUNTIME_SMOKE_SIZES if args.smoke else RUNTIME_FULL_SIZES
+    repeats = args.repeats or (1 if args.smoke else 3)
+
+    results = run_runtime_suite(
+        sizes, repeats, workers=args.runtime_workers
+    )
+
+    payload = {
+        "schema": "repro-bench-runtime/1",
+        "mode": "smoke" if args.smoke else "full",
+        "baseline": {"executor": RUNTIME_BASELINE},
+        "machine": _machine_info(),
+        "sizes": {
+            k: [list(x[0]), *x[1:]] for k, x in sizes.items()
+        },
+        "repeats": repeats,
+        "results": results,
+    }
+    out = Path(args.runtime_out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [
+        [
+            r["bench"], r["executor"], r["workers"], r["n_ranks"],
+            f"{r['seconds'] * 1e3:.1f}",
+            f"{r['speedup_vs_serial']:.2f}x"
+            if r["speedup_vs_serial"] else "n/a",
+        ]
+        for r in results
+    ]
+    print(format_table(
+        ["bench", "executor", "workers", "ranks", "ms", "vs serial"],
+        rows,
+        title=f"runtime benchmarks ({payload['mode']}) -> {out}",
+    ))
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", choices=["backends", "runtime", "all"],
+                        default="backends",
+                        help="which benchmark family to run")
+    parser.add_argument("--out", default="BENCH_backends.json",
+                        help="output path of the backend suite")
+    parser.add_argument("--runtime-out", default="BENCH_runtime.json",
+                        help="output path of the runtime suite")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes + few repeats (CI harness check)")
+    parser.add_argument("--backends", default=None,
+                        help="comma-separated subset (default: all available)")
+    parser.add_argument("--dtypes", default="complex128,complex64")
+    parser.add_argument("--runtime-workers", type=int, default=None,
+                        help="process-executor pool width for the runtime "
+                             "suite (default: min(ranks, cpu_count))")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="best-of repeats (default: 5 full, 2 smoke; "
+                             "runtime suite: 3 full, 1 smoke)")
+    args = parser.parse_args(argv)
+
+    if args.suite in ("backends", "all"):
+        _run_backend_suite(args)
+    if args.suite in ("runtime", "all"):
+        _run_runtime_suite(args)
     return 0
 
 

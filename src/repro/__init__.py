@@ -17,6 +17,13 @@ Compute backends / precision:
     (``complex128`` reference, ``complex64`` fast path), and
     :func:`repro.use_backend`; configs carry ``backend=``/``dtype=``.
 
+Execution runtime:
+    :mod:`repro.runtime` — the executor registry (``serial`` in-process
+    reference, ``process`` multi-worker pool with shared-memory tile
+    state); configs carry ``executor=``/``runtime_workers=``, and the
+    ``process`` executor reproduces ``serial`` bit-for-bit on the numpy
+    backend.
+
 Physics / data:
     :func:`repro.physics.simulate_dataset`,
     :func:`repro.physics.scaled_pbtio3_spec`,
@@ -48,6 +55,7 @@ from repro import physics  # noqa: F401
 from repro import schedule  # noqa: F401
 from repro import parallel  # noqa: F401
 from repro import core  # noqa: F401
+from repro import runtime  # noqa: F401
 from repro import baseline  # noqa: F401
 from repro import perfmodel  # noqa: F401
 from repro import metrics  # noqa: F401
@@ -80,6 +88,11 @@ from repro.backend import (
     register_backend,
     use_backend,
 )
+from repro.runtime import (
+    executor_names,
+    register_executor,
+    resolve_executor,
+)
 
 __all__ = [
     "__version__",
@@ -89,6 +102,7 @@ __all__ = [
     "schedule",
     "parallel",
     "core",
+    "runtime",
     "baseline",
     "perfmodel",
     "metrics",
@@ -118,4 +132,7 @@ __all__ = [
     "backend_names",
     "register_backend",
     "use_backend",
+    "executor_names",
+    "register_executor",
+    "resolve_executor",
 ]

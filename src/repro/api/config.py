@@ -28,7 +28,15 @@ from repro.backend.base import PrecisionPolicy
 
 __all__ = ["ReconstructionConfig"]
 
-_CONFIG_KEYS = ("solver", "solver_params", "run_params", "backend", "dtype")
+_CONFIG_KEYS = (
+    "solver",
+    "solver_params",
+    "run_params",
+    "backend",
+    "dtype",
+    "executor",
+    "runtime_workers",
+)
 
 
 def _normalize(value: Any, where: str) -> Any:
@@ -85,6 +93,17 @@ class ReconstructionConfig:
         Compute precision: ``"complex128"`` (the bit-exact reference) or
         ``"complex64"`` (the memory-lean fast path); ``None`` follows
         the ambient default (``REPRO_DTYPE``, else ``complex128``).
+    executor:
+        Rank-program placement (``"serial"``, ``"process"``, or any
+        :func:`repro.runtime.register_executor` registration); ``None``
+        follows the ambient default (``REPRO_EXECUTOR``, else
+        ``serial``).  Like ``backend``/``dtype``, an *explicit* value
+        pinned here is never overridden by the environment — replayed
+        archives run where they say they run.
+    runtime_workers:
+        Worker-pool bound for multi-process executors (``None`` = one
+        worker per rank, capped at the CPU count).  Ignored by
+        ``serial``.
     """
 
     solver: str
@@ -92,6 +111,8 @@ class ReconstructionConfig:
     run_params: Mapping[str, Any] = field(default_factory=dict)
     backend: str = None
     dtype: str = None
+    executor: str = None
+    runtime_workers: int = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.solver, str) or not self.solver:
@@ -100,6 +121,16 @@ class ReconstructionConfig:
             not isinstance(self.backend, str) or not self.backend
         ):
             raise ValueError("backend must be a non-empty string or None")
+        if self.executor is not None and (
+            not isinstance(self.executor, str) or not self.executor
+        ):
+            raise ValueError("executor must be a non-empty string or None")
+        if self.runtime_workers is not None and (
+            not isinstance(self.runtime_workers, int)
+            or isinstance(self.runtime_workers, bool)
+            or self.runtime_workers <= 0
+        ):
+            raise ValueError("runtime_workers must be a positive int or None")
         # Validates the name only (whether the backend is *registered/
         # available* is a run-time question, so configs written for
         # other machines stay loadable).
@@ -131,6 +162,8 @@ class ReconstructionConfig:
             "run_params": _normalize_mapping(self.run_params, "run_params"),
             "backend": self.backend,
             "dtype": self.dtype,
+            "executor": self.executor,
+            "runtime_workers": self.runtime_workers,
         }
 
     @classmethod
@@ -152,11 +185,14 @@ class ReconstructionConfig:
             solver=payload["solver"],
             solver_params=payload.get("solver_params", {}),
             run_params=payload.get("run_params", {}),
-            # Pre-backend archives carry neither key; they load as
-            # "ambient" — which resolves to the numpy/complex128
-            # reference they were produced with unless redirected.
+            # Pre-backend/pre-runtime archives carry none of these keys;
+            # they load as "ambient" — which resolves to the
+            # numpy/complex128/serial reference they were produced with
+            # unless redirected.
             backend=payload.get("backend"),
             dtype=payload.get("dtype"),
+            executor=payload.get("executor"),
+            runtime_workers=payload.get("runtime_workers"),
         )
 
     def to_json(self, indent: int = 2) -> str:
@@ -174,7 +210,8 @@ class ReconstructionConfig:
         merged = dict(self.solver_params)
         merged.update(updates)
         return ReconstructionConfig(
-            self.solver, merged, self.run_params, self.backend, self.dtype
+            self.solver, merged, self.run_params, self.backend,
+            self.dtype, self.executor, self.runtime_workers,
         )
 
     def with_run_params(self, **updates: Any) -> "ReconstructionConfig":
@@ -182,7 +219,8 @@ class ReconstructionConfig:
         merged = dict(self.run_params)
         merged.update(updates)
         return ReconstructionConfig(
-            self.solver, self.solver_params, merged, self.backend, self.dtype
+            self.solver, self.solver_params, merged, self.backend,
+            self.dtype, self.executor, self.runtime_workers,
         )
 
     def with_compute(
@@ -198,4 +236,24 @@ class ReconstructionConfig:
             self.run_params,
             backend if backend is not None else self.backend,
             dtype if dtype is not None else self.dtype,
+            self.executor,
+            self.runtime_workers,
+        )
+
+    def with_runtime(
+        self, executor: str = None, runtime_workers: int = None
+    ) -> "ReconstructionConfig":
+        """New config with the executor and/or worker bound replaced
+        (``None`` keeps the current value) — how the CLI replays an
+        archived run under a different execution runtime."""
+        return ReconstructionConfig(
+            self.solver,
+            self.solver_params,
+            self.run_params,
+            self.backend,
+            self.dtype,
+            executor if executor is not None else self.executor,
+            runtime_workers
+            if runtime_workers is not None
+            else self.runtime_workers,
         )

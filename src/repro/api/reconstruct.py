@@ -21,6 +21,7 @@ from repro.core.observers import Observer
 from repro.core.reconstructor import ReconstructionResult
 from repro.io.storage import load_result
 from repro.physics.dataset import PtychoDataset
+from repro.runtime.executor import default_executor_name, get_executor
 
 __all__ = ["reconstruct", "RUN_PARAM_KEYS"]
 
@@ -64,6 +65,8 @@ def reconstruct(
         Config names a compute backend that is not registered, or one
         that cannot run here (e.g. ``"cupy"`` without a GPU) — checked
         up front, before any solver work starts.
+    UnknownExecutorError
+        Config names an execution runtime that is not registered.
     ValueError
         Unknown ``run_params`` key.
     """
@@ -75,9 +78,19 @@ def reconstruct(
             f"unknown run_params key(s) {sorted(unknown)}; "
             f"supported: {sorted(RUN_PARAM_KEYS)}"
         )
-    # Fail fast on an unrunnable compute configuration.
+    # Fail fast on an unrunnable compute/runtime configuration —
+    # including the ambient (None → environment) resolutions, so a
+    # REPRO_EXECUTOR typo surfaces here, not after dataset decomposition.
+    # Note the precedence contract: an explicit config field always
+    # wins; REPRO_BACKEND / REPRO_DTYPE / REPRO_EXECUTOR only fill None
+    # ("ambient") fields.
     resolve_backend(config.backend)
     resolve_precision(config.dtype)
+    get_executor(
+        config.executor
+        if config.executor is not None
+        else default_executor_name()
+    )
     solver = solver_from_config(config)
     resume = config.run_params.get("resume")
     if initial_volume is None and resume is not None:

@@ -133,13 +133,14 @@ def get_solver(name: str) -> Type:
 def solver_from_config(config: "ReconstructionConfig") -> Solver:
     """Instantiate the solver a config names, with its ``solver_params``.
 
-    The config's compute fields (``backend``/``dtype``, see
-    :mod:`repro.backend`) are injected as constructor parameters for
+    The config's compute and runtime fields (``backend``/``dtype``, see
+    :mod:`repro.backend`; ``executor``/``runtime_workers``, see
+    :mod:`repro.runtime`) are injected as constructor parameters for
     solvers that declare them in ``accepted_params``.  ``None`` fields
     (ambient resolution) inject nothing, so solvers without the
     parameters still run on the ambient defaults — but *pinning* a
-    backend or precision on a solver that cannot honour it is a
-    :class:`SolverCapabilityError`, never a silent drop.
+    backend, precision or executor on a solver that cannot honour it is
+    a :class:`SolverCapabilityError`, never a silent drop.
     """
     cls = get_solver(config.solver)
     params = dict(config.solver_params)
@@ -147,6 +148,8 @@ def solver_from_config(config: "ReconstructionConfig") -> Solver:
     for key, value in (
         ("backend", config.backend),
         ("dtype", config.dtype),
+        ("executor", config.executor),
+        ("runtime_workers", config.runtime_workers),
     ):
         if key in params:
             # The solver_params spelling (direct class use) must not
@@ -164,7 +167,7 @@ def solver_from_config(config: "ReconstructionConfig") -> Solver:
             params[key] = value
         else:
             raise SolverCapabilityError(
-                f"solver {config.solver!r} does not accept a compute "
+                f"solver {config.solver!r} does not accept a "
                 f"{key} (asked for {key}={value!r}); declare {key!r} in "
                 f"its accepted_params to opt in"
             )

@@ -113,6 +113,8 @@ class GradientDecompositionSolver(SolverAdapter):
             "probe_lr",
             "backend",
             "dtype",
+            "executor",
+            "runtime_workers",
         }
     )
 
@@ -157,6 +159,8 @@ class HaloExchangeSolver(SolverAdapter):
             "enforce_tile_constraint",
             "backend",
             "dtype",
+            "executor",
+            "runtime_workers",
         }
     )
 

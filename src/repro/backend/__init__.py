@@ -44,9 +44,11 @@ from repro.backend.base import (
     get_backend,
     get_default_backend,
     register_backend,
+    release_backend,
     resolve_backend,
     resolve_precision,
     set_default_backend,
+    shutdown_backends,
     unregister_backend,
     use_backend,
 )
@@ -63,6 +65,8 @@ __all__ = [
     "BackendUnavailableError",
     "register_backend",
     "unregister_backend",
+    "release_backend",
+    "shutdown_backends",
     "backend_names",
     "available_backend_names",
     "get_backend",

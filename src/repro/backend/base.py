@@ -58,6 +58,8 @@ __all__ = [
     "BackendUnavailableError",
     "register_backend",
     "unregister_backend",
+    "release_backend",
+    "shutdown_backends",
     "backend_names",
     "available_backend_names",
     "get_backend",
@@ -215,6 +217,28 @@ class ArrayBackend(ABC):
         """Plan-cache statistics (zeroes for planless backends)."""
         return {"plans": 0, "hits": 0}
 
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Release held resources (worker pools, plan caches, device
+        handles).  Idempotent; the base implementation is a no-op —
+        stateless backends (e.g. ``numpy``) keep transforming after
+        close, while backends that *do* hold state should also refuse
+        further transforms once closed (``threaded`` does).
+
+        Long-lived services that construct backends directly should
+        close them (or use the backend as a context manager); instances
+        cached by the registry are closed by
+        :func:`release_backend`/:func:`shutdown_backends` and whenever
+        their registration is removed or overwritten.
+        """
+        return
+
+    def __enter__(self) -> "ArrayBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
 
@@ -259,18 +283,45 @@ def register_backend(
             )
         cls.name = name
         _REGISTRY[name] = cls
-        _INSTANCES.pop(name, None)
+        _close_instance(name)
         return cls
 
     return decorator
 
 
+def _close_instance(name: str) -> None:
+    """Evict and close the cached instance under ``name`` (if any) —
+    registry-held backends must not leak worker pools or plan caches
+    when their registration goes away."""
+    instance = _INSTANCES.pop(name, None)
+    if instance is not None:
+        instance.close()
+
+
 def unregister_backend(name: str) -> None:
-    """Remove a registration (mainly for tests and plugin teardown)."""
+    """Remove a registration (mainly for tests and plugin teardown);
+    the cached instance, if any, is closed."""
     if name not in _REGISTRY:
         raise UnknownBackendError(_unknown_message(name))
     del _REGISTRY[name]
-    _INSTANCES.pop(name, None)
+    _close_instance(name)
+
+
+def release_backend(name: str) -> None:
+    """Close and evict the registry's cached instance of ``name`` (the
+    registration itself stays).  The next :func:`get_backend` lookup
+    constructs a fresh instance — how long-lived services recycle a
+    backend's worker pool and plan cache without re-registering."""
+    if name not in _REGISTRY:
+        raise UnknownBackendError(_unknown_message(name))
+    _close_instance(name)
+
+
+def shutdown_backends() -> None:
+    """Close and evict every cached backend instance (process teardown
+    hook for services embedding the library)."""
+    for name in list(_INSTANCES):
+        _close_instance(name)
 
 
 def backend_names() -> List[str]:
@@ -301,7 +352,10 @@ def get_backend(spec: Union[str, ArrayBackend]) -> ArrayBackend:
             f"backend {name!r} is registered but not available in this "
             f"environment (available: {', '.join(available_backend_names()) or '(none)'})"
         )
-    if name not in _INSTANCES:
+    cached = _INSTANCES.get(name)
+    if cached is None or getattr(cached, "closed", False):
+        # A user-closed instance must not poison later resolutions of
+        # the name — rebuild instead of handing out a dead backend.
         _INSTANCES[name] = cls()
     return _INSTANCES[name]
 

@@ -15,6 +15,12 @@ scipy's pocketfft caches twiddle factors internally per shape; the
 :class:`FFTPlan` layer on top pins the *worker-count decision* per
 ``(batch, shape, dtype)`` signature so the heuristic runs once, and
 counts reuse so the benchmark harness can report plan-cache hit rates.
+The plan cache is a bounded LRU (``max_plans``) so services that sweep
+many transform shapes cannot grow it without limit, and the backend
+supports explicit shutdown: ``close()`` (or a ``with`` block) drops the
+plans and refuses further transforms — the registry closes its cached
+instance on eviction, so long-lived processes do not accumulate stale
+execution state across backend reconfigurations.
 
 Numerics: pocketfft's vectorized kernels reorder floating-point
 operations relative to ``np.fft``, so results agree with the numpy
@@ -26,8 +32,9 @@ bit-identity guarantees on the numpy backend only.
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -68,18 +75,32 @@ class ThreadedFFTBackend(ArrayBackend):
         Worker-pool width for batched transforms; defaults to the CPU
         count (capped at 8 — pocketfft's batch parallelism stops paying
         beyond that for probe-window sizes).
+    max_plans:
+        Plan-cache bound; least-recently-used plans are evicted beyond
+        it.  A reconstruction touches a handful of transform signatures,
+        so the default never evicts in practice — the bound exists so a
+        long-lived service sweeping many shapes cannot leak.
     """
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self, workers: Optional[int] = None, max_plans: int = 128
+    ) -> None:
         if workers is not None and workers <= 0:
             raise ValueError("workers must be positive")
+        if max_plans <= 0:
+            raise ValueError("max_plans must be positive")
         self.workers = (
             workers
             if workers is not None
             else max(1, min(os.cpu_count() or 1, 8))
         )
-        self._plans: Dict[Tuple[Tuple[int, ...], np.dtype], FFTPlan] = {}
+        self.max_plans = max_plans
+        self._plans: "OrderedDict[Tuple[Tuple[int, ...], np.dtype], FFTPlan]" = (
+            OrderedDict()
+        )
         self._hits = 0
+        self._evictions = 0
+        self._closed = False
 
     @classmethod
     def available(cls) -> bool:
@@ -109,21 +130,53 @@ class ThreadedFFTBackend(ArrayBackend):
         scipy preserves single precision natively, so the plan's only
         job is the worker decision: tiny transforms stay serial (thread
         hand-off costs more than the butterfly), batches use the pool.
+        Lookups refresh LRU order; creation beyond ``max_plans`` evicts
+        the least-recently-used signature.
         """
+        if self._closed:
+            raise RuntimeError(
+                "ThreadedFFTBackend is closed; construct a new instance "
+                "(or let the registry do it via get_backend)"
+            )
         key = (a.shape, a.dtype)
         plan = self._plans.get(key)
         if plan is None:
             workers = 1 if a.size < _SERIAL_CUTOFF else self.workers
             plan = FFTPlan(shape=a.shape, dtype=a.dtype, workers=workers)
             self._plans[key] = plan
+            if len(self._plans) > self.max_plans:
+                self._plans.popitem(last=False)
+                self._evictions += 1
         else:
+            self._plans.move_to_end(key)
             plan.hits += 1
             self._hits += 1
         return plan
 
-    def plan_stats(self) -> Dict[str, int]:
-        """Distinct plans created and total cache hits so far."""
-        return {"plans": len(self._plans), "hits": self._hits}
+    def plan_stats(self) -> dict:
+        """Distinct live plans, total cache hits, and LRU evictions."""
+        return {
+            "plans": len(self._plans),
+            "hits": self._hits,
+            "evictions": self._evictions,
+        }
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop the plan cache and refuse further transforms.
+
+        scipy's per-call worker threads are joined inside each
+        transform, so the pool itself holds nothing between calls; what
+        a long-lived service leaks by re-constructing backends is plan
+        state — this releases it deterministically.  Idempotent.
+        """
+        self._plans.clear()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ThreadedFFTBackend(workers={self.workers})"

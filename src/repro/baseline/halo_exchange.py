@@ -40,6 +40,7 @@ from repro.core.reconstructor import ReconstructionResult
 from repro.core.stitching import stitch
 from repro.parallel.topology import MeshLayout
 from repro.physics.dataset import PtychoDataset
+from repro.runtime.executor import EnginePlan, resolve_executor
 from repro.schedule.ops import Barrier, LocalSolve, Schedule, VoxelPaste
 
 __all__ = ["HaloExchangeReconstructor"]
@@ -74,6 +75,10 @@ class HaloExchangeReconstructor:
         Compute backend and precision policy for the numeric engine
         (see :mod:`repro.backend`); ``None`` resolves the ambient
         defaults.
+    executor / runtime_workers:
+        Rank-program placement (see :mod:`repro.runtime`): ``"serial"``
+        in-process reference or ``"process"`` worker pool; ``None``
+        resolves ``REPRO_EXECUTOR``, else ``serial``.
     """
 
     def __init__(
@@ -88,11 +93,15 @@ class HaloExchangeReconstructor:
         enforce_tile_constraint: bool = True,
         backend: Optional[str] = None,
         dtype: Optional[str] = None,
+        executor: Optional[str] = None,
+        runtime_workers: Optional[int] = None,
     ) -> None:
         if iterations <= 0:
             raise ValueError("iterations must be positive")
         if inner_sweeps <= 0:
             raise ValueError("inner_sweeps must be positive")
+        if runtime_workers is not None and runtime_workers <= 0:
+            raise ValueError("runtime_workers must be positive")
         self.n_ranks = n_ranks
         self.mesh = mesh
         self.iterations = iterations
@@ -103,6 +112,8 @@ class HaloExchangeReconstructor:
         self.enforce_tile_constraint = enforce_tile_constraint
         self.backend = backend
         self.dtype = dtype
+        self.executor = executor
+        self.runtime_workers = runtime_workers
 
     # ------------------------------------------------------------------
     def decompose(self, dataset: PtychoDataset) -> Decomposition:
@@ -190,50 +201,69 @@ class HaloExchangeReconstructor:
             Probe refinement is *not* available for this baseline — the
             registry adapter rejects it explicitly.
         """
+        executor_spec = self.executor
         if callback is not None:
             warn_legacy_callback(type(self).__name__)
+            if executor_spec is None:
+                # Legacy hook needs the in-process engine; see
+                # reconstructor.py — ambient resolution pins serial.
+                executor_spec = "serial"
         decomp = self.decompose(dataset)
-        engine = NumericEngine(
-            dataset,
-            decomp,
-            lr=self.lr,
-            initial_volume=initial_volume,
-            backend=self.backend,
-            dtype=self.dtype,
-        )
         schedule = self.build_iteration_schedule(decomp)
+        session = resolve_executor(
+            executor_spec, workers=self.runtime_workers
+        ).launch(
+            EnginePlan(
+                dataset=dataset,
+                decomp=decomp,
+                schedule=schedule,
+                lr=self.lr,
+                initial_volume=initial_volume,
+                backend=self.backend,
+                dtype=self.dtype,
+            )
+        )
+        if callback is not None and session.engine is None:
+            session.close()
+            raise ValueError(
+                "the deprecated callback= hook needs in-process engine "
+                "access and only works with the serial executor; migrate "
+                "to observers="
+            )
 
         def result_snapshot(history: List[float]) -> ReconstructionResult:
             return ReconstructionResult(
-                volume=stitch(decomp, engine.volumes(), dataset.n_slices),
+                volume=stitch(decomp, session.volumes(), dataset.n_slices),
                 history=list(history),
-                messages=engine.comm.sent_messages,
-                message_bytes=int(engine.comm.sent_bytes),
-                peak_memory_per_rank=engine.memory.per_rank_peaks(),
+                messages=session.messages,
+                message_bytes=session.message_bytes,
+                peak_memory_per_rank=session.per_rank_peaks,
                 decomposition=decomp,
             )
 
         history: List[float] = []
         emitter = IterationEmitter("hve", self.iterations, observers)
-        for it in range(self.iterations):
-            engine.execute(schedule)
-            cost = engine.iteration_cost()
-            history.append(cost)
-            if callback is not None:
-                callback(it, cost, engine)
-            emitter.emit(
-                it,
-                cost,
-                messages=engine.comm.sent_messages,
-                message_bytes=int(engine.comm.sent_bytes),
-                peak_memory_bytes=float(
-                    np.mean(engine.memory.per_rank_peaks())
-                ),
-                # Live state at call time; see reconstructor.py.
-                snapshot=lambda: result_snapshot(list(history)),
-            )
+        try:
+            for it in range(self.iterations):
+                cost = session.step()
+                history.append(cost)
+                if callback is not None:
+                    callback(it, cost, session.engine)
+                emitter.emit(
+                    it,
+                    cost,
+                    messages=session.messages,
+                    message_bytes=session.message_bytes,
+                    peak_memory_bytes=float(
+                        np.mean(session.per_rank_peaks)
+                    ),
+                    # Live state at call time; see reconstructor.py.
+                    snapshot=lambda: result_snapshot(list(history)),
+                )
 
-        return result_snapshot(history)
+            return result_snapshot(history)
+        finally:
+            session.close()
 
     # ------------------------------------------------------------------
     def redundancy_factor(self, decomp: Decomposition) -> float:

@@ -32,6 +32,7 @@ import numpy as np
 from repro.api import solver_names
 from repro.backend import backend_names
 from repro.experiments import experiment_names
+from repro.runtime import executor_names
 
 __all__ = ["main", "build_parser"]
 
@@ -131,6 +132,14 @@ def build_parser() -> argparse.ArgumentParser:
                      default=None,
                      help="compute precision (default: REPRO_DTYPE env or "
                           "complex128); complex64 halves memory")
+    rec.add_argument("--executor", choices=executor_names(), default=None,
+                     help="rank-program placement (default: REPRO_EXECUTOR "
+                          "env or serial); 'process' runs each rank block "
+                          "in its own worker process; with --config, "
+                          "overrides the config's executor for replay")
+    rec.add_argument("--runtime-workers", type=int, default=None,
+                     help="worker-pool bound for --executor process "
+                          "(default: one per rank, capped at CPU count)")
     rec.add_argument("--resume", default=None,
                      help="warm-start from a saved result archive")
     rec.add_argument("--out", required=True)
@@ -203,15 +212,31 @@ def _config_from_flags(args, dataset) -> "ReconstructionConfig":
             )
     run_params = {"resume": args.resume} if args.resume is not None else {}
     from repro.backend import default_backend_name, default_dtype_name
+    from repro.runtime import default_executor_name
 
-    # Record the *resolved* compute configuration (flag, else ambient
-    # default) so the embedded config replays on what actually ran.
+    # Record the *resolved* compute/runtime configuration (flag, else
+    # ambient default) so the embedded config replays on what actually
+    # ran.  Executor fields are recorded only for solvers that take
+    # them; an explicit flag on any other solver is a hard error.
+    executor = None
+    runtime_workers = None
+    if "executor" in accepted:
+        executor = args.executor or default_executor_name()
+        runtime_workers = args.runtime_workers
+    elif args.executor is not None or args.runtime_workers is not None:
+        flag = "--executor" if args.executor is not None else "--runtime-workers"
+        raise SolverCapabilityError(
+            f"{flag} is not supported by solver {args.algorithm!r} "
+            f"(accepted parameters: {', '.join(sorted(accepted))})"
+        )
     return ReconstructionConfig(
         solver=args.algorithm,
         solver_params=params,
         run_params=run_params,
         backend=args.backend or default_backend_name(),
         dtype=args.dtype or default_dtype_name(),
+        executor=executor,
+        runtime_workers=runtime_workers,
     )
 
 
@@ -258,6 +283,11 @@ def _cmd_reconstruct(args) -> int:
                 config = config.with_compute(
                     backend=args.backend, dtype=args.dtype
                 )
+            if args.executor is not None or args.runtime_workers is not None:
+                config = config.with_runtime(
+                    executor=args.executor,
+                    runtime_workers=args.runtime_workers,
+                )
         else:
             config = _config_from_flags(args, dataset)
         resume = config.run_params.get("resume")
@@ -272,6 +302,13 @@ def _cmd_reconstruct(args) -> int:
     path = save_result(args.out, result, config=config)
     print(f"solver: {config.solver}")
     print(f"backend: {config.backend} ({config.dtype})")
+    if config.executor is not None:
+        workers = (
+            f", workers={config.runtime_workers}"
+            if config.runtime_workers is not None
+            else ""
+        )
+        print(f"executor: {config.executor}{workers}")
     print(f"cost: {result.history[0]:.4e} -> {result.history[-1]:.4e} "
           f"over {len(result.history)} iterations")
     print(f"messages: {result.messages}, "

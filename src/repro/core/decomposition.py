@@ -186,8 +186,18 @@ class Decomposition:
         return max(len(t.all_probes) for t in self.tiles)
 
     def mean_halo_fraction(self) -> float:
-        """Average halo-to-extended-area ratio (redundancy diagnostic)."""
-        fractions = [t.halo_pixels / t.ext.area for t in self.tiles]
+        """Average halo-to-extended-area ratio (redundancy diagnostic).
+
+        Degenerate geometry is reported, not crashed on: a zero-area
+        extended tile contributes a zero fraction (it has no halo), and
+        an empty tile list averages to 0.0.
+        """
+        if not self.tiles:
+            return 0.0
+        fractions = [
+            (t.halo_pixels / t.ext.area) if t.ext.area > 0 else 0.0
+            for t in self.tiles
+        ]
         return float(np.mean(fractions))
 
 

@@ -3,9 +3,20 @@
 One :class:`NumericEngine` hosts the per-rank state of a distributed
 reconstruction — extended-tile volume, gradient accumulation buffer, the
 rank's own measurement shard — and executes schedule ops in order.  All
-inter-rank data moves through the :class:`~repro.parallel.comm.VirtualComm`
-(payloads are snapshot-copied), so the executed communication pattern *is*
-the algorithm's, and message/byte counts are measured.
+inter-rank data moves through a communicator (payloads are
+snapshot-copied), so the executed communication pattern *is* the
+algorithm's, and message/byte counts are measured.
+
+The engine is **executor-agnostic**: by default it hosts *every* rank of
+the decomposition behind an in-process
+:class:`~repro.parallel.comm.VirtualComm` (the serial reference), but a
+``ranks=`` subset turns it into one worker's share of a real multi-process
+run — ops whose ranks are all elsewhere are skipped, point-to-point ops
+execute only their hosted side, and collectives route through the
+communicator (a :class:`~repro.runtime.process_comm.ProcessComm`, which
+sets ``is_distributed``).  ``shared_arrays=`` lets the runtime place tile
+volumes and gradient buffers in ``multiprocessing.shared_memory`` so the
+parent process can stitch and all-reduce without copying.
 
 Gradient truncation: with fixed-width halos (the paper's memory-efficient
 configuration) a probe window can poke out of the extended tile.  The
@@ -19,7 +30,7 @@ synchronous-mode runs match the serial solver bit-for-bit (tested).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -110,6 +121,16 @@ class NumericEngine:
         measures the width actually in use; the default
         (``numpy``/``complex128``) is bit-identical to the historical
         hard-wired behaviour.
+    ranks:
+        The subset of decomposition ranks this engine hosts (``None`` =
+        all of them, the serial reference).  With a subset, the supplied
+        ``comm`` must be able to reach the other ranks' hosts.
+    shared_arrays:
+        Optional pre-allocated storage for per-rank tile arrays, keyed
+        ``("volume", rank)`` / ``("accbuf", rank)`` — how the process
+        runtime hands the engine views into shared-memory segments.  The
+        engine initializes their contents; shapes and dtypes must match
+        what it would have allocated itself.
     """
 
     def __init__(
@@ -125,10 +146,29 @@ class NumericEngine:
         initial_volume: Optional[np.ndarray] = None,
         backend: Union[str, ArrayBackend, None] = None,
         dtype: Union[str, PrecisionPolicy, None] = None,
+        ranks: Optional[Sequence[int]] = None,
+        shared_arrays: Optional[Mapping[Tuple[str, int], np.ndarray]] = None,
     ) -> None:
         self.dataset = dataset
         self.decomp = decomp
         self.lr = float(lr)
+        if ranks is None:
+            self.hosted_ranks: Tuple[int, ...] = tuple(
+                range(decomp.n_ranks)
+            )
+        else:
+            self.hosted_ranks = tuple(sorted(set(int(r) for r in ranks)))
+            for r in self.hosted_ranks:
+                if not (0 <= r < decomp.n_ranks):
+                    raise ValueError(
+                        f"hosted rank {r} out of range "
+                        f"[0,{decomp.n_ranks})"
+                    )
+            if not self.hosted_ranks:
+                raise ValueError("ranks must name at least one rank")
+        self._hosted_set = frozenset(self.hosted_ranks)
+        self._hosts_all = len(self.hosted_ranks) == decomp.n_ranks
+        self._shared = dict(shared_arrays) if shared_arrays else {}
         self.comm = comm if comm is not None else VirtualComm(decomp.n_ranks)
         self.memory = memory if memory is not None else MemoryTracker(decomp.n_ranks)
         self.compensate_local = compensate_local
@@ -159,8 +199,11 @@ class NumericEngine:
                 )
         self._initial_volume = initial_volume
         self.states: List[RankState] = [
-            self._init_rank(tile) for tile in decomp.tiles
+            self._init_rank(decomp.tiles[r]) for r in self.hosted_ranks
         ]
+        self._state_by_rank: Dict[int, RankState] = {
+            s.rank: s for s in self.states
+        }
         self._dispatch = {
             ComputeGradients: self._op_compute,
             LocalSolve: self._op_local_solve,
@@ -177,16 +220,33 @@ class NumericEngine:
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
+    def _tile_array(
+        self, kind: str, rank: int, shape: Tuple[int, ...]
+    ) -> np.ndarray:
+        """Storage for one per-rank tile array: a runtime-supplied
+        (shared-memory) view when registered, a fresh allocation
+        otherwise.  Contents are initialized by the caller."""
+        arr = self._shared.get((kind, rank))
+        if arr is None:
+            return np.empty(shape, dtype=self._cdtype)
+        if arr.shape != shape or arr.dtype != self._cdtype:
+            raise ValueError(
+                f"shared {kind!r} array for rank {rank} is "
+                f"{arr.shape}/{arr.dtype}, engine needs "
+                f"{shape}/{self._cdtype}"
+            )
+        return arr
+
     def _init_rank(self, tile) -> RankState:
         shape = (self.n_slices, tile.ext.height, tile.ext.width)
+        volume = self._tile_array("volume", tile.rank, shape)
         if self._initial_volume is not None:
             sl = tile.ext.slices_in(self.decomp.bounds)
-            volume = np.array(
-                self._initial_volume[:, sl[0], sl[1]], dtype=self._cdtype
-            )
+            volume[...] = self._initial_volume[:, sl[0], sl[1]]
         else:
-            volume = np.ones(shape, dtype=self._cdtype)
-        accbuf = np.zeros(shape, dtype=self._cdtype)
+            volume[...] = 1.0
+        accbuf = self._tile_array("accbuf", tile.rank, shape)
+        accbuf[...] = 0.0
         localbuf = (
             np.zeros(shape, dtype=self._cdtype) if self.compensate_local else None
         )
@@ -227,8 +287,17 @@ class NumericEngine:
     # Execution
     # ------------------------------------------------------------------
     def execute(self, schedule: Schedule) -> None:
-        """Run every op of ``schedule`` in order."""
+        """Run this engine's share of ``schedule`` in order.
+
+        Hosting all ranks (the default), that is every op; hosting a
+        subset, ops whose ranks are all elsewhere are skipped — the
+        remaining sequence is exactly this worker's merged SPMD program.
+        """
         for op in schedule:
+            if not self._hosts_all and self._hosted_set.isdisjoint(
+                op.ranks()
+            ):
+                continue
             handler = self._dispatch.get(type(op))
             if handler is None:  # pragma: no cover - future op types
                 raise TypeError(f"numeric engine cannot run {type(op).__name__}")
@@ -242,9 +311,31 @@ class NumericEngine:
             s.cost_accum = 0.0
         return total
 
+    def iteration_costs(self) -> Dict[int, float]:
+        """Per-hosted-rank sweep costs since the last call (and reset) —
+        what a worker ships home so the parent can reproduce the serial
+        rank-ordered summation bit-for-bit."""
+        costs = {s.rank: s.cost_accum for s in self.states}
+        for s in self.states:
+            s.cost_accum = 0.0
+        return costs
+
     def volumes(self) -> List[np.ndarray]:
-        """Per-rank extended-tile volumes (live references)."""
+        """Hosted extended-tile volumes (live references), rank order."""
         return [s.volume for s in self.states]
+
+    def current_probe(self) -> Optional[np.ndarray]:
+        """A copy of rank 0's probe estimate — ``None`` unless probe
+        refinement is on and rank 0 is hosted here.  (All ranks hold the
+        same probe after each :class:`ProbeSync`; rank 0's copy is the
+        canonical result, matching the serial reference.)"""
+        state = self._state_by_rank.get(0)
+        if not self.refine_probe or state is None or state.probe is None:
+            return None
+        return state.probe.copy()
+
+    def _state(self, rank: int) -> RankState:
+        return self._state_by_rank[rank]
 
     # ------------------------------------------------------------------
     # Patch I/O with vacuum padding (gradient truncation support)
@@ -288,7 +379,7 @@ class NumericEngine:
         return state.probe if state.probe is not None else self.probe
 
     def _op_compute(self, op: ComputeGradients) -> None:
-        state = self.states[op.rank]
+        state = self._state(op.rank)
         state.neighbor_snapshot = None  # buffers change: invalidate
         probe = self._rank_probe(state)
         for idx in op.probe_indices:
@@ -317,7 +408,7 @@ class NumericEngine:
     def _op_local_solve(self, op: LocalSolve) -> None:
         """Halo Voxel Exchange local phase: plain SGD on the extended tile
         over own + extra probes, no buffer involvement."""
-        state = self.states[op.rank]
+        state = self._state(op.rank)
         probe = self._rank_probe(state)
         for idx in op.probe_indices:
             window = self.dataset.scan.window_of(idx)
@@ -332,35 +423,54 @@ class NumericEngine:
             )
 
     def _op_exchange(self, op: BufferExchange) -> None:
-        src_state = self.states[op.src]
-        dst_state = self.states[op.dst]
+        # Each side runs on the worker hosting it; a serial engine hosts
+        # both and performs the send and the (immediately satisfied)
+        # receive back-to-back, exactly as before.
+        src_state = self._state_by_rank.get(op.src)
+        dst_state = self._state_by_rank.get(op.dst)
         if op.tag == TAG_NEIGHBOR:
             # Direct-neighbour planner: pairwise symmetric adds must use
             # pre-exchange values (see passes.build_neighbor_exchanges).
-            # Snapshot each endpoint before its buffer is first read *or*
-            # written within the exchange phase.
-            if src_state.neighbor_snapshot is None:
+            # Snapshot each hosted endpoint before its buffer is first
+            # read *or* written within the exchange phase — the snapshot
+            # depends only on rank-local state, so per-rank program order
+            # reproduces the serial content exactly.
+            if src_state is not None and src_state.neighbor_snapshot is None:
                 src_state.neighbor_snapshot = src_state.accbuf.copy()
-            if dst_state.neighbor_snapshot is None:
+            if dst_state is not None and dst_state.neighbor_snapshot is None:
                 dst_state.neighbor_snapshot = dst_state.accbuf.copy()
-            source_buffer = src_state.neighbor_snapshot
-        else:
-            source_buffer = src_state.accbuf
-        src_sl = op.region.slices_in(src_state.ext)
-        payload = source_buffer[:, src_sl[0], src_sl[1]]
-        self.comm.send(payload, op.src, op.dst, tag=op.tag)
-        received = self.comm.recv(op.dst, op.src, tag=op.tag)
-        dst_sl = op.region.slices_in(dst_state.ext)
-        if op.mode == "add":
-            dst_state.accbuf[:, dst_sl[0], dst_sl[1]] += received
-        else:  # replace
-            dst_state.accbuf[:, dst_sl[0], dst_sl[1]] = received
+        if src_state is not None:
+            source_buffer = (
+                src_state.neighbor_snapshot
+                if op.tag == TAG_NEIGHBOR
+                else src_state.accbuf
+            )
+            src_sl = op.region.slices_in(src_state.ext)
+            payload = source_buffer[:, src_sl[0], src_sl[1]]
+            self.comm.send(payload, op.src, op.dst, tag=op.tag)
+        if dst_state is not None:
+            received = self.comm.recv(op.dst, op.src, tag=op.tag)
+            dst_sl = op.region.slices_in(dst_state.ext)
+            if op.mode == "add":
+                dst_state.accbuf[:, dst_sl[0], dst_sl[1]] += received
+            else:  # replace
+                dst_state.accbuf[:, dst_sl[0], dst_sl[1]] = received
 
     def _op_allreduce(self, op: AllReduceGradient) -> None:
         bounds = self.decomp.bounds
-        total = np.zeros(
-            (self.n_slices, bounds.height, bounds.width), dtype=self._cdtype
-        )
+        frame_shape = (self.n_slices, bounds.height, bounds.width)
+        if getattr(self.comm, "is_distributed", False):
+            # Cross-process path: the comm reduces over the registered
+            # shared-memory buffers in the same rank order, and records
+            # the ring-allreduce accounting event the parent replays.
+            self.comm.accbuf_allreduce(frame_shape)
+            return
+        if not self._hosts_all:  # pragma: no cover - misconfiguration
+            raise RuntimeError(
+                "AllReduceGradient on a subset-hosting engine requires a "
+                "distributed communicator"
+            )
+        total = np.zeros(frame_shape, dtype=self._cdtype)
         for state in self.states:
             sl = state.ext.slices_in(bounds)
             total[:, sl[0], sl[1]] += state.accbuf
@@ -379,35 +489,43 @@ class NumericEngine:
             self.comm.allreduce_calls += 1
 
     def _op_apply(self, op: ApplyBufferUpdate) -> None:
-        state = self.states[op.rank]
+        state = self._state(op.rank)
         if state.localbuf is not None:
             state.volume -= op.lr * (state.accbuf - state.localbuf)
         else:
             state.volume -= op.lr * state.accbuf
 
     def _op_reset(self, op: ResetBuffer) -> None:
-        state = self.states[op.rank]
+        state = self._state(op.rank)
         state.accbuf[...] = 0.0
         if state.localbuf is not None:
             state.localbuf[...] = 0.0
         state.neighbor_snapshot = None
 
     def _op_paste(self, op: VoxelPaste) -> None:
-        src_state = self.states[op.src]
-        dst_state = self.states[op.dst]
-        src_sl = op.region.slices_in(src_state.ext)
-        payload = src_state.volume[:, src_sl[0], src_sl[1]]
-        self.comm.send(payload, op.src, op.dst, tag=op.tag)
-        received = self.comm.recv(op.dst, op.src, tag=op.tag)
-        dst_sl = op.region.slices_in(dst_state.ext)
-        dst_state.volume[:, dst_sl[0], dst_sl[1]] = received
+        src_state = self._state_by_rank.get(op.src)
+        dst_state = self._state_by_rank.get(op.dst)
+        if src_state is not None:
+            src_sl = op.region.slices_in(src_state.ext)
+            payload = src_state.volume[:, src_sl[0], src_sl[1]]
+            self.comm.send(payload, op.src, op.dst, tag=op.tag)
+        if dst_state is not None:
+            received = self.comm.recv(op.dst, op.src, tag=op.tag)
+            dst_sl = op.region.slices_in(dst_state.ext)
+            dst_state.volume[:, dst_sl[0], dst_sl[1]] = received
 
     def _op_barrier(self, op: Barrier) -> None:
-        # Numerically a no-op: the engine is already sequentialized.
-        return
+        # In-process comms sequentialize anyway (their barrier is a
+        # no-op); across workers this is a real synchronization point.
+        self.comm.barrier()
 
     def _op_probe_sync(self, op: ProbeSync) -> None:
-        """All-reduce the per-rank probe gradients (probe refinement)."""
+        """All-reduce the per-rank probe gradients (probe refinement).
+
+        The comm receives one contribution per *hosted* rank: the
+        ``VirtualComm`` (hosting all) sums in-process, a distributed comm
+        completes the sum across workers — both in ascending rank order.
+        """
         if not self.refine_probe:
             raise RuntimeError("ProbeSync without refine_probe=True")
         contributions = [s.probe_grad for s in self.states]
@@ -416,7 +534,7 @@ class NumericEngine:
             state.probe_grad[...] = total
 
     def _op_probe_update(self, op: ApplyProbeUpdate) -> None:
-        state = self.states[op.rank]
+        state = self._state(op.rank)
         if state.probe is None or state.probe_grad is None:
             raise RuntimeError("ApplyProbeUpdate without refine_probe=True")
         state.probe -= op.lr * state.probe_grad

@@ -44,6 +44,7 @@ from repro.core.passes import (
 )
 from repro.core.stitching import stitch
 from repro.parallel.topology import MeshLayout
+from repro.runtime.executor import EnginePlan, resolve_executor
 from repro.physics.dataset import PtychoDataset
 from repro.schedule.ops import (
     ApplyBufferUpdate,
@@ -176,6 +177,16 @@ class GradientDecompositionReconstructor:
         numeric engine — see :mod:`repro.backend`.  ``None`` resolves
         the ambient defaults (``numpy``/``complex128`` unless the
         ``REPRO_BACKEND``/``REPRO_DTYPE`` environment says otherwise).
+    executor / runtime_workers:
+        *Where* the rank programs run — see :mod:`repro.runtime`.
+        ``"serial"`` hosts every rank in this process (the bit-exact
+        reference); ``"process"`` runs each rank block in its own worker
+        process with tile state in shared memory (``runtime_workers``
+        bounds the pool).  ``None`` resolves the ambient default
+        (``REPRO_EXECUTOR`` environment, else ``serial``); an explicit
+        value is never overridden by the environment.  On the numpy
+        backend the ``process`` executor reproduces the ``serial``
+        result bit-for-bit.
     """
 
     def __init__(
@@ -193,6 +204,8 @@ class GradientDecompositionReconstructor:
         probe_lr: Optional[float] = None,
         backend: Optional[str] = None,
         dtype: Optional[str] = None,
+        executor: Optional[str] = None,
+        runtime_workers: Optional[int] = None,
     ) -> None:
         if iterations <= 0:
             raise ValueError("iterations must be positive")
@@ -204,6 +217,8 @@ class GradientDecompositionReconstructor:
             )
         if refine_probe and probe_lr is not None and probe_lr <= 0:
             raise ValueError("probe_lr must be positive")
+        if runtime_workers is not None and runtime_workers <= 0:
+            raise ValueError("runtime_workers must be positive")
         self.n_ranks = n_ranks
         self.mesh = mesh
         self.iterations = iterations
@@ -217,6 +232,8 @@ class GradientDecompositionReconstructor:
         self.probe_lr = probe_lr
         self.backend = backend
         self.dtype = dtype
+        self.executor = executor
+        self.runtime_workers = runtime_workers
 
     # ------------------------------------------------------------------
     def decompose(self, dataset: PtychoDataset) -> Decomposition:
@@ -329,57 +346,75 @@ class GradientDecompositionReconstructor:
         initial_volume:
             Warm-start volume (checkpoint restart); defaults to vacuum.
         """
+        executor_spec = self.executor
         if callback is not None:
             warn_legacy_callback(type(self).__name__)
+            if executor_spec is None:
+                # The legacy hook hands the caller the in-process engine,
+                # which only the serial executor has; ambient resolution
+                # (REPRO_EXECUTOR) must not break pre-runtime call sites,
+                # so they pin serial.  An *explicitly* requested
+                # distributed executor still errors below.
+                executor_spec = "serial"
         decomp = self.decompose(dataset)
-        engine = NumericEngine(
-            dataset,
-            decomp,
-            lr=self.lr,
-            compensate_local=self.compensate_local,
-            initial_probe=initial_probe,
-            refine_probe=self.refine_probe,
-            initial_volume=initial_volume,
-            backend=self.backend,
-            dtype=self.dtype,
-        )
         schedule = self.build_iteration_schedule(decomp)
+        session = resolve_executor(
+            executor_spec, workers=self.runtime_workers
+        ).launch(
+            EnginePlan(
+                dataset=dataset,
+                decomp=decomp,
+                schedule=schedule,
+                lr=self.lr,
+                compensate_local=self.compensate_local,
+                initial_probe=initial_probe,
+                refine_probe=self.refine_probe,
+                initial_volume=initial_volume,
+                backend=self.backend,
+                dtype=self.dtype,
+            )
+        )
+        if callback is not None and session.engine is None:
+            session.close()
+            raise ValueError(
+                "the deprecated callback= hook needs in-process engine "
+                "access and only works with the serial executor; migrate "
+                "to observers="
+            )
 
         def result_snapshot(history: List[float]) -> ReconstructionResult:
             return ReconstructionResult(
-                volume=stitch(decomp, engine.volumes(), dataset.n_slices),
+                volume=stitch(decomp, session.volumes(), dataset.n_slices),
                 history=list(history),
-                messages=engine.comm.sent_messages,
-                message_bytes=int(engine.comm.sent_bytes),
-                peak_memory_per_rank=engine.memory.per_rank_peaks(),
+                messages=session.messages,
+                message_bytes=session.message_bytes,
+                peak_memory_per_rank=session.per_rank_peaks,
                 decomposition=decomp,
-                probe=(
-                    engine.states[0].probe.copy()
-                    if self.refine_probe
-                    else None
-                ),
+                probe=session.probe(),
             )
 
         history: List[float] = []
         emitter = IterationEmitter("gd", self.iterations, observers)
-        for it in range(self.iterations):
-            engine.execute(schedule)
-            cost = engine.iteration_cost()
-            history.append(cost)
-            if callback is not None:
-                callback(it, cost, engine)
-            emitter.emit(
-                it,
-                cost,
-                messages=engine.comm.sent_messages,
-                message_bytes=int(engine.comm.sent_bytes),
-                peak_memory_bytes=float(
-                    np.mean(engine.memory.per_rank_peaks())
-                ),
-                # Materializes the engine state *at call time*, so
-                # volume, counters and history always describe the same
-                # moment (history is read live, not frozen).
-                snapshot=lambda: result_snapshot(list(history)),
-            )
+        try:
+            for it in range(self.iterations):
+                cost = session.step()
+                history.append(cost)
+                if callback is not None:
+                    callback(it, cost, session.engine)
+                emitter.emit(
+                    it,
+                    cost,
+                    messages=session.messages,
+                    message_bytes=session.message_bytes,
+                    peak_memory_bytes=float(
+                        np.mean(session.per_rank_peaks)
+                    ),
+                    # Materializes the session state *at call time*, so
+                    # volume, counters and history always describe the
+                    # same moment (history is read live, not frozen).
+                    snapshot=lambda: result_snapshot(list(history)),
+                )
 
-        return result_snapshot(history)
+            return result_snapshot(history)
+        finally:
+            session.close()

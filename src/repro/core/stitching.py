@@ -33,6 +33,16 @@ def stitch(
         raise ValueError(
             f"got {len(volumes)} volumes for {decomp.n_ranks} ranks"
         )
+    dtypes = sorted({str(v.dtype) for v in volumes})
+    if len(dtypes) > 1:
+        # Taking volumes[0].dtype would silently downcast (or upcast)
+        # every other rank's tile — reachable since per-rank precision
+        # policies exist, and never what the caller meant.
+        raise ValueError(
+            f"per-rank volumes carry mixed dtypes {dtypes}; all ranks "
+            "must share one precision — reconstruct every tile under "
+            "the same PrecisionPolicy before stitching"
+        )
     bounds = decomp.bounds
     out = np.zeros(
         (n_slices, bounds.height, bounds.width), dtype=volumes[0].dtype

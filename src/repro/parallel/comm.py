@@ -157,6 +157,13 @@ class VirtualComm:
     # ------------------------------------------------------------------
     # Collectives
     # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Global synchronization — a no-op in-process, where rank
+        programs are already sequentialized.  (The cross-process
+        :class:`~repro.runtime.process_comm.ProcessComm` implements the
+        real thing behind the same name.)"""
+        return
+
     def allreduce_sum(self, contributions: List[np.ndarray]) -> np.ndarray:
         """Sum of per-rank arrays, returned to every rank (conceptually).
 

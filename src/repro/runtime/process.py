@@ -1,0 +1,450 @@
+"""``ProcessExecutor`` — real multi-process execution of rank programs.
+
+Placement: the decomposition's ranks are split into contiguous blocks,
+one block per worker process (``workers=`` bounds the pool; the default
+is one worker per rank capped at the CPU count).  Each worker builds a
+:class:`~repro.core.engine.NumericEngine` hosting its block and executes
+the shared schedule — the engine skips ops whose ranks live elsewhere,
+so every worker runs exactly its merged SPMD program.
+
+Storage: every rank's extended-tile **volume** and **gradient buffer**
+live in ``multiprocessing.shared_memory`` segments created by the
+parent.  Workers mutate them in place (the engine never rebinds tile
+arrays), the gradient all-reduce is a barrier-bracketed rank-ordered
+reduction over the shared buffers, and the parent stitches final volumes
+straight out of shared memory — no result pickling.
+
+Messaging: halo/boundary traffic moves through a
+:class:`~repro.runtime.process_comm.ProcessComm` per worker (one inbox
+queue per rank), with the same matching semantics and byte accounting as
+the serial :class:`~repro.parallel.comm.VirtualComm`.
+
+Choreography: workers initialize, report readiness, then step one
+iteration per parent command and block — so between iterations the
+parent can safely read shared volumes (observer snapshots) and aggregate
+counters.  Costs are reported per rank and summed parent-side in rank
+order, which keeps the whole run — volumes, history, traffic counts —
+fingerprint-identical to the serial executor on the numpy backend.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import traceback
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.backend.base import resolve_precision
+from repro.runtime.executor import (
+    EnginePlan,
+    ExecutionSession,
+    Executor,
+    register_executor,
+)
+from repro.runtime.process_comm import (
+    CommChannels,
+    CounterSnapshot,
+    ProcessComm,
+    aggregate_counters,
+)
+
+__all__ = ["ProcessExecutor", "partition_ranks"]
+
+
+def partition_ranks(n_ranks: int, n_workers: int) -> List[Tuple[int, ...]]:
+    """Contiguous, balanced rank blocks — one per worker."""
+    if n_workers <= 0 or n_workers > n_ranks:
+        raise ValueError(
+            f"need 1..{n_ranks} workers for {n_ranks} ranks, "
+            f"got {n_workers}"
+        )
+    base, rem = divmod(n_ranks, n_workers)
+    blocks: List[Tuple[int, ...]] = []
+    start = 0
+    for w in range(n_workers):
+        size = base + (1 if w < rem else 0)
+        blocks.append(tuple(range(start, start + size)))
+        start += size
+    return blocks
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a parent-owned segment.
+
+    Workers inherit the parent's resource-tracker process (both fork and
+    spawn pass the tracker fd down), so the attach-side registration is
+    an idempotent set-add there and the parent's ``unlink`` performs the
+    single unregister — no per-worker bookkeeping needed.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def _view(seg: shared_memory.SharedMemory, shape, dtype) -> np.ndarray:
+    return np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _worker_main(
+    worker_index: int,
+    hosted: Tuple[int, ...],
+    plan: EnginePlan,
+    shm_names: Dict[Tuple[str, int], str],
+    tile_shapes: Dict[int, Tuple[int, ...]],
+    cdtype_name: str,
+    channels: CommChannels,
+    control: Any,
+    results: Any,
+    timeout: float,
+) -> None:
+    from repro.core.engine import NumericEngine  # after fork/spawn import
+
+    segments: List[shared_memory.SharedMemory] = []
+    engine = None
+    try:
+        cdtype = np.dtype(cdtype_name)
+        n_ranks = plan.decomp.n_ranks
+        acc_views: Dict[int, np.ndarray] = {}
+        shared_arrays: Dict[Tuple[str, int], np.ndarray] = {}
+        for rank in range(n_ranks):
+            seg = _attach_segment(shm_names[("accbuf", rank)])
+            segments.append(seg)
+            acc_views[rank] = _view(seg, tile_shapes[rank], cdtype)
+        for rank in hosted:
+            seg = _attach_segment(shm_names[("volume", rank)])
+            segments.append(seg)
+            shared_arrays[("volume", rank)] = _view(
+                seg, tile_shapes[rank], cdtype
+            )
+            shared_arrays[("accbuf", rank)] = acc_views[rank]
+
+        comm = ProcessComm(
+            n_ranks=n_ranks,
+            hosted=hosted,
+            worker_index=worker_index,
+            channels=channels,
+            timeout=timeout,
+        )
+        bounds = plan.decomp.bounds
+        comm.register_tile_buffers(
+            acc_views,
+            {
+                t.rank: t.ext.slices_in(bounds)
+                for t in plan.decomp.tiles
+            },
+        )
+        engine = NumericEngine(
+            plan.dataset,
+            plan.decomp,
+            lr=plan.lr,
+            comm=comm,
+            compensate_local=plan.compensate_local,
+            initial_probe=plan.initial_probe,
+            refine_probe=plan.refine_probe,
+            initial_volume=plan.initial_volume,
+            backend=plan.backend,
+            dtype=plan.dtype,
+            ranks=hosted,
+            shared_arrays=shared_arrays,
+        )
+        results.put(("ready", worker_index, None))
+
+        while True:
+            cmd = control.get()
+            if cmd == "stop":
+                break
+            engine.execute(plan.schedule)
+            report = {
+                "costs": engine.iteration_costs(),
+                "counters": comm.counters_snapshot(),
+                "peaks": {
+                    r: engine.memory.peak_bytes(r) for r in hosted
+                },
+                "probe": engine.current_probe(),
+            }
+            results.put(("iter", worker_index, report))
+    except BaseException:
+        try:
+            results.put(("error", worker_index, traceback.format_exc()))
+        except Exception:  # pragma: no cover - queue already broken
+            pass
+    finally:
+        engine = None
+        acc_views = {}
+        shared_arrays = {}
+        for seg in segments:
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - lingering view
+                pass
+
+
+# ----------------------------------------------------------------------
+# Parent-side session
+# ----------------------------------------------------------------------
+class _ProcessSession(ExecutionSession):
+    """Worker choreography + shared-memory state access (parent side)."""
+
+    engine = None
+
+    def __init__(
+        self,
+        plan: EnginePlan,
+        workers: Optional[int],
+        timeout: float,
+        start_method: Optional[str] = None,
+    ) -> None:
+        decomp = plan.decomp
+        self._plan = plan
+        self._n_ranks = decomp.n_ranks
+        self._timeout = float(timeout)
+        self._refine_probe = plan.refine_probe
+        n_workers = workers if workers is not None else (os.cpu_count() or 1)
+        n_workers = max(1, min(int(n_workers), self._n_ranks))
+        self._blocks = partition_ranks(self._n_ranks, n_workers)
+        self._n_workers = n_workers
+        self._closed = False
+        self._procs: List[Any] = []
+        self._segments: List[shared_memory.SharedMemory] = []
+
+        precision = resolve_precision(plan.dtype)
+        cdtype = precision.complex_dtype
+        self._tile_shapes: Dict[int, Tuple[int, ...]] = {
+            t.rank: (
+                plan.dataset.n_slices, t.ext.height, t.ext.width
+            )
+            for t in decomp.tiles
+        }
+
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in mp.get_all_start_methods()
+                else "spawn"
+            )
+        ctx = mp.get_context(start_method)
+
+        shm_names: Dict[Tuple[str, int], str] = {}
+        self._vol_views: Optional[List[np.ndarray]] = []
+        try:
+            for rank in range(self._n_ranks):
+                nbytes = max(
+                    1,
+                    int(np.prod(self._tile_shapes[rank], dtype=np.int64))
+                    * cdtype.itemsize,
+                )
+                for kind in ("volume", "accbuf"):
+                    seg = shared_memory.SharedMemory(
+                        create=True, size=nbytes
+                    )
+                    self._segments.append(seg)
+                    shm_names[(kind, rank)] = seg.name
+                    if kind == "volume":
+                        self._vol_views.append(
+                            _view(seg, self._tile_shapes[rank], cdtype)
+                        )
+
+            self._channels = CommChannels(
+                inboxes=[ctx.Queue() for _ in range(self._n_ranks)],
+                gather=ctx.Queue(),
+                bcast=[ctx.Queue() for _ in range(n_workers)],
+                barrier=ctx.Barrier(n_workers),
+                n_workers=n_workers,
+            )
+            self._controls = [ctx.Queue() for _ in range(n_workers)]
+            self._results = ctx.Queue()
+
+            for w, hosted in enumerate(self._blocks):
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        w,
+                        hosted,
+                        plan,
+                        shm_names,
+                        self._tile_shapes,
+                        cdtype.name,
+                        self._channels,
+                        self._controls[w],
+                        self._results,
+                        self._timeout,
+                    ),
+                    daemon=True,
+                    name=f"repro-rank-worker-{w}",
+                )
+                proc.start()
+                self._procs.append(proc)
+
+            self._snapshots: List[CounterSnapshot] = [
+                CounterSnapshot() for _ in range(n_workers)
+            ]
+            self._peaks: Dict[int, int] = {
+                r: 0 for r in range(self._n_ranks)
+            }
+            self._probe: Optional[np.ndarray] = None
+            self._collect("ready")
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    def _collect(self, expected_kind: str) -> List[Dict[str, Any]]:
+        """Gather one ``expected_kind`` report from every worker,
+        surfacing worker tracebacks and silent deaths."""
+        reports: Dict[int, Any] = {}
+        while len(reports) < self._n_workers:
+            try:
+                kind, w, payload = self._results.get(timeout=1.0)
+            except queue_mod.Empty:
+                dead = [
+                    p.name
+                    for p in self._procs
+                    if p.exitcode is not None and p.exitcode != 0
+                ]
+                if dead:
+                    self.close()
+                    raise RuntimeError(
+                        f"worker process(es) died without reporting: "
+                        f"{', '.join(dead)}"
+                    )
+                continue
+            if kind == "error":
+                self.close()
+                raise RuntimeError(
+                    f"rank worker {w} failed:\n{payload}"
+                )
+            if kind != expected_kind:  # pragma: no cover - protocol bug
+                raise RuntimeError(
+                    f"unexpected worker report {kind!r} "
+                    f"(wanted {expected_kind!r})"
+                )
+            reports[w] = payload
+        return [reports[w] for w in range(self._n_workers)]
+
+    def step(self) -> float:
+        if self._closed:
+            raise RuntimeError("session is closed")
+        for control in self._controls:
+            control.put("step")
+        reports = self._collect("iter")
+        costs: Dict[int, float] = {}
+        for w, report in enumerate(reports):
+            costs.update(report["costs"])
+            self._snapshots[w] = report["counters"]
+            self._peaks.update(report["peaks"])
+            if report["probe"] is not None:
+                self._probe = report["probe"]
+        # Rank-ordered summation — float-identical to the serial
+        # engine's iteration_cost().
+        return sum(costs[r] for r in range(self._n_ranks))
+
+    # ------------------------------------------------------------------
+    def volumes(self) -> List[np.ndarray]:
+        if self._closed or self._vol_views is None:
+            raise RuntimeError("session is closed")
+        return list(self._vol_views)
+
+    def probe(self) -> Optional[np.ndarray]:
+        if not self._refine_probe or self._probe is None:
+            return None
+        return self._probe.copy()
+
+    @property
+    def _aggregated(self):
+        return aggregate_counters(self._snapshots, self._n_ranks)
+
+    @property
+    def messages(self) -> int:
+        return self._aggregated.sent_messages
+
+    @property
+    def message_bytes(self) -> int:
+        return int(self._aggregated.sent_bytes)
+
+    @property
+    def per_rank_peaks(self) -> List[int]:
+        return [self._peaks[r] for r in range(self._n_ranks)]
+
+    @property
+    def allreduce_calls(self) -> int:
+        return self._aggregated.allreduce_calls
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for control in getattr(self, "_controls", []):
+            try:
+                control.put("stop")
+            except Exception:  # pragma: no cover - queue torn down
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5.0)
+        # Drop our views before releasing the mappings; a view leaked to
+        # user code merely keeps its mapping alive until collected.
+        self._vol_views = None
+        for seg in self._segments:
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - leaked view
+                pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        self._segments = []
+
+    def __del__(self) -> None:  # pragma: no cover - safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+@register_executor("process")
+class ProcessExecutor(Executor):
+    """One worker process per rank block, state in shared memory.
+
+    Parameters
+    ----------
+    workers:
+        Worker-pool width (default: one per rank, capped at the CPU
+        count).  Fewer workers than ranks co-host contiguous rank
+        blocks in one process.
+    timeout:
+        Seconds any cross-worker wait (receive, barrier, collective)
+        may block before the run is declared deadlocked.
+    start_method:
+        ``multiprocessing`` start method override (default: ``fork``
+        where available, else ``spawn``).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        timeout: float = 120.0,
+        start_method: Optional[str] = None,
+    ) -> None:
+        super().__init__(workers=workers)
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.timeout = float(timeout)
+        self.start_method = start_method
+
+    def launch(self, plan: EnginePlan) -> ExecutionSession:
+        return _ProcessSession(
+            plan,
+            workers=self.workers,
+            timeout=self.timeout,
+            start_method=self.start_method,
+        )

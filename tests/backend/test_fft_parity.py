@@ -74,7 +74,7 @@ class TestThreadedParity:
         from repro.backend import ThreadedFFTBackend
 
         b = ThreadedFFTBackend(workers=2)
-        assert b.plan_stats() == {"plans": 0, "hits": 0}
+        assert b.plan_stats() == {"plans": 0, "hits": 0, "evictions": 0}
         b.fft2(field)
         b.fft2(field)
         b.ifft2(field)

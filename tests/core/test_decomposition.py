@@ -265,3 +265,51 @@ class TestFullScaleGeometry:
         counts = [len(t.probes) for t in d.tiles]
         assert sum(counts) == 16632
         assert min(counts) == max(counts) == 4  # perfectly balanced
+
+
+class TestMeanHaloFraction:
+    """Degenerate-geometry guards: no ZeroDivisionError, ever."""
+
+    def test_regular_geometry_in_unit_interval(self):
+        scan = make_scan()
+        decomp = decompose_gradient(scan, fov_for(scan), mesh=MeshLayout(2, 2))
+        assert 0.0 <= decomp.mean_halo_fraction() < 1.0
+
+    def test_zero_area_extended_tile_contributes_zero(self):
+        """A degenerate zero-area extended tile used to divide by zero;
+        it has no halo, so its fraction is 0."""
+        from repro.core.decomposition import Decomposition, RankTile
+
+        scan = make_scan(grid=(2, 2))
+        bounds = Rect(0, 20, 0, 20)
+        empty = Rect(0, 0, 0, 0)
+        tiles = [
+            RankTile(rank=0, core=empty, ext=empty, probes=()),
+            RankTile(
+                rank=1, core=Rect(0, 20, 0, 20),
+                ext=Rect(0, 20, 0, 20),
+                probes=tuple(range(scan.n_positions)),
+            ),
+        ]
+        decomp = Decomposition(
+            mesh=MeshLayout(1, 2), bounds=bounds, tiles=tiles, scan=scan
+        )
+        assert decomp.mean_halo_fraction() == 0.0
+
+    def test_empty_tile_list_is_zero(self):
+        from repro.core.decomposition import Decomposition
+
+        scan = make_scan(grid=(2, 2))
+        decomp = Decomposition(
+            mesh=MeshLayout(1, 1),
+            bounds=Rect(0, 4, 0, 4),
+            tiles=[],
+            scan=scan,
+        )
+        assert decomp.mean_halo_fraction() == 0.0
+
+    def test_single_coverage_tile_has_zero_fraction(self):
+        """halo == ext - core == 0 when one tile covers everything."""
+        scan = make_scan(grid=(2, 2), step=3.0, window=8)
+        decomp = decompose_gradient(scan, fov_for(scan), n_ranks=1)
+        assert decomp.mean_halo_fraction() == 0.0

@@ -66,5 +66,38 @@ class TestStitch:
             for t in decomp.tiles
         ]
         volumes[0] = np.zeros((1, 3, 3), dtype=complex)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="shape"):
             stitch(decomp, volumes, 1)
+
+    def test_wrong_rank_count_message_names_both_counts(self, decomp):
+        with pytest.raises(ValueError, match="1 volumes for 6 ranks"):
+            stitch(decomp, [np.zeros((1, 4, 4))], 1)
+
+    def test_mixed_dtypes_rejected(self, decomp):
+        """Mixed per-rank precisions must raise, not silently take
+        volumes[0].dtype (which would downcast every complex128 tile
+        through a complex64 output — or upcast and misreport memory)."""
+        volumes = [
+            np.zeros((1, t.ext.height, t.ext.width), dtype=np.complex128)
+            for t in decomp.tiles
+        ]
+        volumes[-1] = volumes[-1].astype(np.complex64)
+        with pytest.raises(ValueError, match="mixed dtypes"):
+            stitch(decomp, volumes, 1)
+
+    def test_mixed_dtype_error_names_the_dtypes(self, decomp):
+        volumes = [
+            np.zeros((1, t.ext.height, t.ext.width), dtype=np.complex128)
+            for t in decomp.tiles
+        ]
+        volumes[0] = volumes[0].astype(np.complex64)
+        with pytest.raises(ValueError, match="complex128.*complex64"):
+            stitch(decomp, volumes, 1)
+
+    def test_uniform_complex64_still_stitches(self, decomp):
+        volumes = [
+            np.ones((1, t.ext.height, t.ext.width), dtype=np.complex64)
+            for t in decomp.tiles
+        ]
+        out = stitch(decomp, volumes, 1)
+        assert out.dtype == np.complex64

@@ -1,0 +1,22 @@
+"""Runtime-suite fixtures.
+
+The precedence tests probe the full ambient resolution chain
+(explicit → in-code default → environment → built-in), so the in-code
+default slot must start unset here — other suites legitimately leave it
+pinned (e.g. the registry tests restore it to ``"numpy"``, which is an
+*explicit* setting and would mask the environment by design).
+"""
+
+import pytest
+
+from repro.backend import base as backend_base
+
+
+@pytest.fixture(autouse=True)
+def _clear_in_code_backend_default():
+    previous = backend_base._DEFAULT_SPEC[0]
+    backend_base._DEFAULT_SPEC[0] = None
+    try:
+        yield
+    finally:
+        backend_base._DEFAULT_SPEC[0] = previous

@@ -1,0 +1,123 @@
+"""Executor registry + ambient resolution (the backend precedence rule)."""
+
+import pytest
+
+from repro.runtime import (
+    DEFAULT_EXECUTOR_NAME,
+    ENV_EXECUTOR,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    UnknownExecutorError,
+    default_executor_name,
+    executor_names,
+    get_executor,
+    partition_ranks,
+    register_executor,
+    resolve_executor,
+    unregister_executor,
+)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"serial", "process"} <= set(executor_names())
+
+    def test_get_executor(self):
+        assert get_executor("serial") is SerialExecutor
+        assert get_executor("process") is ProcessExecutor
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(UnknownExecutorError, match="serial"):
+            get_executor("quantum")
+
+    def test_register_and_unregister(self):
+        @register_executor("custom-test")
+        class Custom(SerialExecutor):
+            pass
+
+        try:
+            assert "custom-test" in executor_names()
+            assert Custom.name == "custom-test"
+            assert isinstance(resolve_executor("custom-test"), Custom)
+        finally:
+            unregister_executor("custom-test")
+        assert "custom-test" not in executor_names()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_executor("serial")(SerialExecutor)
+
+    def test_registration_requires_launch(self):
+        with pytest.raises(TypeError, match="launch"):
+            register_executor("broken-test")(object)
+
+
+class TestResolution:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(ENV_EXECUTOR, raising=False)
+        assert default_executor_name() == DEFAULT_EXECUTOR_NAME
+        assert isinstance(resolve_executor(None), SerialExecutor)
+
+    def test_env_fills_ambient(self, monkeypatch):
+        monkeypatch.setenv(ENV_EXECUTOR, "process")
+        assert default_executor_name() == "process"
+        assert isinstance(resolve_executor(None), ProcessExecutor)
+
+    def test_explicit_beats_env(self, monkeypatch):
+        """The precedence contract: an explicit executor is never
+        silently overridden by REPRO_EXECUTOR."""
+        monkeypatch.setenv(ENV_EXECUTOR, "process")
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+
+    def test_instance_passthrough(self):
+        ex = ProcessExecutor(workers=2)
+        assert resolve_executor(ex) is ex
+        assert resolve_executor(ex, workers=2) is ex  # agreeing is fine
+
+    def test_instance_with_conflicting_workers_rejected(self):
+        """workers= must never be silently dropped against a configured
+        instance."""
+        ex = ProcessExecutor(workers=4)
+        with pytest.raises(ValueError, match="conflicts"):
+            resolve_executor(ex, workers=2)
+
+    def test_workers_forwarded(self):
+        assert resolve_executor("process", workers=3).workers == 3
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError, match="positive"):
+            ProcessExecutor(workers=0)
+        with pytest.raises(ValueError, match="positive"):
+            resolve_executor("serial", workers=-1)
+
+
+class TestPartition:
+    def test_even_split(self):
+        assert partition_ranks(4, 2) == [(0, 1), (2, 3)]
+
+    def test_uneven_split_front_loads(self):
+        assert partition_ranks(5, 3) == [(0, 1), (2, 3), (4,)]
+
+    def test_one_worker_hosts_all(self):
+        assert partition_ranks(3, 1) == [(0, 1, 2)]
+
+    def test_covers_every_rank_once(self):
+        for p in (1, 2, 5, 9, 16):
+            for w in range(1, p + 1):
+                blocks = partition_ranks(p, w)
+                flat = [r for b in blocks for r in b]
+                assert flat == list(range(p))
+                assert len(blocks) == w
+
+    def test_too_many_workers_rejected(self):
+        with pytest.raises(ValueError):
+            partition_ranks(2, 3)
+        with pytest.raises(ValueError):
+            partition_ranks(2, 0)
+
+
+class TestExecutorProtocol:
+    def test_executor_is_abstract(self):
+        with pytest.raises(TypeError):
+            Executor()

@@ -1,0 +1,253 @@
+"""ProcessComm — protocol contract, mirroring the VirtualComm suite.
+
+These tests drive worker-side comms *in one process* over real
+multiprocessing queues (the transport does not care where the endpoints
+live), so protocol violations — unmatched receive, double wait, bad
+ranks, foreign-rank sends — are exercised deterministically and fast.
+The barrier/shared-memory collectives are covered end-to-end by the
+parity suite.
+"""
+
+import multiprocessing as mp
+import time
+
+import numpy as np
+import pytest
+
+from repro.parallel.comm import CommError, VirtualComm
+from repro.runtime.process_comm import (
+    CommChannels,
+    CounterSnapshot,
+    ProcessComm,
+    aggregate_counters,
+)
+
+#: Keep unmatched-receive tests fast: nothing ever arrives.
+SHORT_TIMEOUT = 0.2
+
+
+def make_channels(n_ranks: int, n_workers: int) -> CommChannels:
+    ctx = mp.get_context()
+    return CommChannels(
+        inboxes=[ctx.Queue() for _ in range(n_ranks)],
+        gather=ctx.Queue(),
+        bcast=[ctx.Queue() for _ in range(n_workers)],
+        barrier=ctx.Barrier(n_workers),
+        n_workers=n_workers,
+    )
+
+
+@pytest.fixture()
+def pair():
+    """Two single-rank worker comms sharing one transport."""
+    channels = make_channels(2, 2)
+    a = ProcessComm(2, [0], 0, channels, timeout=SHORT_TIMEOUT)
+    b = ProcessComm(2, [1], 1, channels, timeout=SHORT_TIMEOUT)
+    return a, b
+
+
+class TestBasics:
+    def test_size(self, pair):
+        a, _ = pair
+        assert a.Get_size() == 2
+        assert a.n_ranks == 2
+        assert a.hosted_ranks == (0,)
+
+    def test_validation(self):
+        channels = make_channels(1, 1)
+        with pytest.raises(ValueError):
+            ProcessComm(0, [0], 0, channels)
+        with pytest.raises(ValueError):
+            ProcessComm(2, [], 0, channels)
+        with pytest.raises(CommError):
+            ProcessComm(2, [5], 0, channels)
+
+
+class TestPointToPoint:
+    def test_send_recv_roundtrip(self, pair, rng):
+        a, b = pair
+        payload = rng.normal(size=(5, 5))
+        a.send(payload, src=0, dst=1, tag=7)
+        np.testing.assert_array_equal(
+            b.recv(dst=1, src=0, tag=7), payload
+        )
+
+    def test_payload_snapshot_isolation(self, pair):
+        a, b = pair
+        payload = np.zeros(3)
+        a.send(payload, 0, 1)
+        payload[:] = 99.0
+        np.testing.assert_array_equal(b.recv(1, 0), np.zeros(3))
+
+    def test_fifo_order_per_edge(self, pair):
+        a, b = pair
+        a.send(np.array([1]), 0, 1, tag=0)
+        a.send(np.array([2]), 0, 1, tag=0)
+        assert b.recv(1, 0, tag=0)[0] == 1
+        assert b.recv(1, 0, tag=0)[0] == 2
+
+    def test_tags_are_independent_streams(self, pair):
+        a, b = pair
+        a.send(np.array([1]), 0, 1, tag=5)
+        a.send(np.array([2]), 0, 1, tag=6)
+        assert b.recv(1, 0, tag=6)[0] == 2
+        assert b.recv(1, 0, tag=5)[0] == 1
+
+    def test_unmatched_recv_raises_after_timeout(self, pair):
+        _, b = pair
+        with pytest.raises(CommError, match="no matching message"):
+            b.recv(1, 0, tag=3)
+
+    def test_self_send_rejected(self, pair):
+        a, _ = pair
+        with pytest.raises(CommError, match="self-send"):
+            a.send(np.zeros(1), 0, 0)
+
+    def test_rank_bounds(self, pair):
+        a, _ = pair
+        with pytest.raises(CommError):
+            a.send(np.zeros(1), 0, 4)
+        with pytest.raises(CommError):
+            a.send(np.zeros(1), -1, 1)
+
+    def test_foreign_rank_send_rejected(self, pair):
+        """A worker cannot impersonate a rank it does not host."""
+        a, _ = pair
+        with pytest.raises(CommError, match="not hosted"):
+            a.send(np.zeros(1), 1, 0)
+
+    def test_foreign_rank_recv_rejected(self, pair):
+        a, _ = pair
+        with pytest.raises(CommError, match="not hosted"):
+            a.recv(1, 0)
+
+
+class TestNonBlocking:
+    def test_isend_completes_immediately(self, pair):
+        a, _ = pair
+        req = a.isend(np.ones(2), 0, 1)
+        ready, _ = req.test()
+        assert ready
+        assert req.wait() is None
+
+    def test_irecv_wait_returns_payload(self, pair):
+        a, b = pair
+        a.send(np.arange(3), 0, 1, tag=1)
+        req = b.irecv(dst=1, src=0, tag=1)
+        np.testing.assert_array_equal(req.wait(), np.arange(3))
+
+    def test_irecv_test_before_send(self, pair):
+        a, b = pair
+        req = b.irecv(dst=1, src=0, tag=1)
+        ready, _ = req.test()
+        assert not ready
+        a.send(np.arange(3), 0, 1, tag=1)
+        # Queue delivery is asynchronous; poll until visible.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            ready, _ = req.test()
+            if ready:
+                break
+            time.sleep(0.01)
+        assert ready
+
+    def test_double_wait_raises(self, pair):
+        a, b = pair
+        a.send(np.ones(1), 0, 1)
+        req = b.irecv(1, 0)
+        req.wait()
+        with pytest.raises(CommError, match="already completed"):
+            req.wait()
+
+
+class TestAccounting:
+    def test_bytes_and_messages_counted_like_virtualcomm(self, pair):
+        a, b = pair
+        reference = VirtualComm(2)
+        payload = np.zeros(100, dtype=np.float64)
+        a.send(payload, 0, 1)
+        reference.send(payload, 0, 1)
+        assert a.sent_messages == reference.sent_messages == 1
+        assert a.sent_bytes == reference.sent_bytes == 800
+        assert a.per_rank_sent_bytes[0] == 800
+        b.recv(1, 0)
+
+    def test_pending_messages_visible_after_drain(self, pair):
+        a, b = pair
+        a.send(np.zeros(1), 0, 1, tag=1)
+        a.send(np.zeros(1), 0, 1, tag=2)
+        b.recv(1, 0, tag=2)  # drains tag=1 into the mailbox en route
+        assert b.pending_messages() == 1
+        b.recv(1, 0, tag=1)
+        assert b.pending_messages() == 0
+
+    def test_allreduce_contribution_count_checked(self, pair):
+        a, _ = pair
+        with pytest.raises(CommError, match="contributions"):
+            a.allreduce_sum([np.zeros(2), np.zeros(2)])
+
+    def test_tile_allreduce_requires_registration(self, pair):
+        a, _ = pair
+        with pytest.raises(CommError, match="register_tile_buffers"):
+            a.accbuf_allreduce((1, 4, 4))
+
+    def test_tile_registration_must_cover_all_ranks(self, pair):
+        a, _ = pair
+        with pytest.raises(ValueError, match="every rank"):
+            a.register_tile_buffers(
+                {0: np.zeros((1, 2, 2))},
+                {0: (slice(0, 2), slice(0, 2))},
+            )
+
+
+class TestAggregation:
+    def test_p2p_counters_sum_exactly(self):
+        snaps = [
+            CounterSnapshot(3, 300, {0: 300}, []),
+            CounterSnapshot(2, 200, {1: 200}, []),
+        ]
+        agg = aggregate_counters(snaps, 2)
+        assert agg.sent_messages == 5
+        assert agg.sent_bytes == 500
+        assert agg.per_rank_sent_bytes.tolist() == [300, 200]
+        assert agg.allreduce_calls == 0
+
+    def test_volume_event_replays_engine_arithmetic(self):
+        """The replay must reproduce the serial engine's inline ring
+        accounting to the integer."""
+        p, nbytes = 4, 10_000
+        agg = aggregate_counters(
+            [CounterSnapshot(events=[("volume_allreduce", nbytes, 1)])], p
+        )
+        share = int(2 * (p - 1) / p * nbytes)
+        assert agg.sent_bytes == share * p
+        assert agg.sent_messages == 2 * (p - 1) * p
+        assert (agg.per_rank_sent_bytes == share).all()
+        assert agg.allreduce_calls == 1
+
+    def test_probe_event_replays_virtualcomm_arithmetic(self):
+        p, nbytes, calls = 4, 100 * 8, 3
+        reference = VirtualComm(p)
+        for _ in range(calls):
+            reference.allreduce_sum([np.zeros(100) for _ in range(p)])
+        agg = aggregate_counters(
+            [CounterSnapshot(events=[("probe_allreduce", nbytes, calls)])],
+            p,
+        )
+        assert agg.sent_bytes == reference.sent_bytes
+        assert agg.sent_messages == reference.sent_messages
+        assert (
+            agg.per_rank_sent_bytes.tolist()
+            == reference.per_rank_sent_bytes.tolist()
+        )
+        assert agg.allreduce_calls == reference.allreduce_calls
+
+    def test_event_counts_accumulate_per_signature(self):
+        """Worker-side events stay one entry per signature no matter how
+        many times a collective runs (constant snapshot size)."""
+        channels = make_channels(1, 1)
+        comm = ProcessComm(1, [0], 0, channels, timeout=SHORT_TIMEOUT)
+        for _ in range(5):
+            comm.allreduce_sum([np.zeros(10)])
+        snap = comm.counters_snapshot()
+        assert snap.events == [("probe_allreduce", 80, 5)]
