@@ -18,7 +18,15 @@ rank in a worker process, tile state in shared memory), reporting the
 multi-worker speedup.  On a single-CPU machine the expected speedup is
 ~1x (the harness records ``cpu_count`` so readers can judge).
 
-``--suite all`` runs both.
+``--suite data`` -> ``BENCH_data.json``.  The streaming/batching
+pipeline (:mod:`repro.data`): the gd solver (synchronous mode, the
+batchable configuration) per-position vs batched on the threaded
+backend — every batch size is bit-identical to batch 1, so the speedup
+is free — plus the same run streaming from a chunked on-disk store
+(with and without prefetch), and a raw store-read sweep (in-memory vs
+chunked).
+
+``--suite all`` runs all three.
 
 Wall times are best-of-``--repeats`` (min is the standard low-noise
 estimator for micro-benchmarks); speedups are reported against the
@@ -230,6 +238,132 @@ def run_runtime_suite(sizes, repeats, workers=None):
     return results
 
 
+# ----------------------------------------------------------------------
+# Data suite: per-position vs batched, in-memory vs chunked store
+# ----------------------------------------------------------------------
+#: (grid, detector, slices, n_ranks, iterations) of the gd data bench
+#: and the batch sizes swept.  Sized so per-probe Python/FFT dispatch
+#: overhead is visible — the overhead batching exists to amortize.
+DATA_FULL_SIZES = {
+    "gd_batched_recon": ((10, 10), 32, 3, 4, 2),
+    "batch_sizes": [1, 8, 16],
+    "store_chunk": 16,
+}
+DATA_SMOKE_SIZES = {
+    "gd_batched_recon": ((4, 4), 16, 2, 4, 1),
+    "batch_sizes": [1, 4],
+    "store_chunk": 4,
+}
+#: The data-suite baseline scenario: per-position, in-memory.
+DATA_BASELINE = {"batch_size": 1, "store": "memory"}
+
+
+def _data_dataset(sizes, dataset_cache={}):
+    grid, detector, slices, _, _ = sizes["gd_batched_recon"]
+    key = (grid, detector, slices)
+    if key not in dataset_cache:
+        spec = scaled_pbtio3_spec(
+            scan_grid=grid, detector_px=detector, n_slices=slices,
+            overlap_ratio=0.7,
+        )
+        dataset_cache[key] = simulate_dataset(spec, seed=11)
+    return dataset_cache[key]
+
+
+def bench_gd_batched(dataset, batch_size, data_source, prefetch,
+                     sizes, repeats) -> float:
+    """End-to-end gd reconstruction (synchronous mode — the batchable
+    configuration) under one data scenario, on the threaded backend at
+    complex64 (the fast path batching is meant to feed)."""
+    from repro.core.reconstructor import GradientDecompositionReconstructor
+
+    _, _, _, n_ranks, iters = sizes["gd_batched_recon"]
+    lr = suggest_lr(dataset, alpha=0.35)
+    solver = GradientDecompositionReconstructor(
+        n_ranks=n_ranks, iterations=iters, lr=lr, mode="synchronous",
+        backend="threaded", dtype="complex64",
+        data_source=data_source, batch_size=batch_size, prefetch=prefetch,
+    )
+
+    def run():
+        solver.reconstruct(dataset)
+
+    return _best_of(run, repeats)
+
+
+def bench_store_read(dataset, store_factory, repeats) -> float:
+    """One sequential sweep over every measurement frame."""
+    n = dataset.n_probes
+
+    def run():
+        store = store_factory()
+        try:
+            for i in range(n):
+                store.read(i)
+        finally:
+            store.close()
+
+    return _best_of(run, repeats)
+
+
+def run_data_suite(sizes, repeats, store_dir) -> List[Dict]:
+    from repro.data import ChunkedNpzStore, InMemoryStore, write_store
+
+    dataset = _data_dataset(sizes)
+    store_path = Path(store_dir) / "bench_store.npz"
+    write_store(store_path, dataset, chunk_size=sizes["store_chunk"])
+
+    results: List[Dict] = []
+    grid, detector, slices, n_ranks, iters = sizes["gd_batched_recon"]
+    scenarios = [
+        (b, None, False) for b in sizes["batch_sizes"]
+    ] + [
+        (sizes["batch_sizes"][-1], str(store_path), False),
+        (sizes["batch_sizes"][-1], str(store_path), True),
+    ]
+    for batch_size, data_source, prefetch in scenarios:
+        seconds = bench_gd_batched(
+            dataset, batch_size, data_source, prefetch, sizes, repeats
+        )
+        results.append({
+            "bench": "gd_batched_recon",
+            "batch_size": batch_size,
+            "store": "chunked" if data_source else "memory",
+            "prefetch": prefetch,
+            "n_ranks": n_ranks,
+            "iterations": iters,
+            "seconds": seconds,
+        })
+
+    for store_name, pf, factory in (
+        ("memory", False, lambda: InMemoryStore(dataset.amplitudes)),
+        ("chunked", False, lambda: ChunkedNpzStore(store_path)),
+        ("chunked", True, lambda: ChunkedNpzStore(
+            store_path, prefetch=True
+        )),
+    ):
+        seconds = bench_store_read(dataset, factory, repeats)
+        results.append({
+            "bench": "store_read",
+            "batch_size": None,
+            "store": store_name,
+            "prefetch": pf,
+            "n_probes": dataset.n_probes,
+            "seconds": seconds,
+        })
+
+    base = {
+        r["bench"]: r["seconds"]
+        for r in results
+        if r["store"] == "memory"
+        and r["batch_size"] in (DATA_BASELINE["batch_size"], None)
+    }
+    for r in results:
+        ref = base.get(r["bench"])
+        r["speedup_vs_baseline"] = ref / r["seconds"] if ref else None
+    return results
+
+
 def run_suite(backends, dtypes, sizes, repeats) -> List[Dict]:
     results: List[Dict] = []
     for bench_name, bench_fn in BENCHES.items():
@@ -347,15 +481,65 @@ def _run_runtime_suite(args) -> Path:
     return out
 
 
+def _run_data_suite(args) -> Path:
+    import tempfile
+
+    sizes = DATA_SMOKE_SIZES if args.smoke else DATA_FULL_SIZES
+    repeats = args.repeats or (1 if args.smoke else 3)
+
+    with tempfile.TemporaryDirectory() as store_dir:
+        results = run_data_suite(sizes, repeats, store_dir)
+
+    payload = {
+        "schema": "repro-bench-data/1",
+        "mode": "smoke" if args.smoke else "full",
+        "baseline": DATA_BASELINE,
+        "machine": _machine_info(),
+        "sizes": {
+            "gd_batched_recon": [
+                list(sizes["gd_batched_recon"][0]),
+                *sizes["gd_batched_recon"][1:],
+            ],
+            "batch_sizes": list(sizes["batch_sizes"]),
+            "store_chunk": sizes["store_chunk"],
+        },
+        "repeats": repeats,
+        "results": results,
+    }
+    out = Path(args.data_out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [
+        [
+            r["bench"],
+            r["batch_size"] if r["batch_size"] is not None else "-",
+            r["store"] + ("+pf" if r["prefetch"] is True else ""),
+            f"{r['seconds'] * 1e3:.1f}",
+            f"{r['speedup_vs_baseline']:.2f}x"
+            if r["speedup_vs_baseline"] else "n/a",
+        ]
+        for r in results
+    ]
+    print(format_table(
+        ["bench", "batch", "store", "ms", "vs batch1/mem"],
+        rows,
+        title=f"data benchmarks ({payload['mode']}) -> {out}",
+    ))
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=["backends", "runtime", "all"],
+    parser.add_argument("--suite",
+                        choices=["backends", "runtime", "data", "all"],
                         default="backends",
                         help="which benchmark family to run")
     parser.add_argument("--out", default="BENCH_backends.json",
                         help="output path of the backend suite")
     parser.add_argument("--runtime-out", default="BENCH_runtime.json",
                         help="output path of the runtime suite")
+    parser.add_argument("--data-out", default="BENCH_data.json",
+                        help="output path of the data suite")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny sizes + few repeats (CI harness check)")
     parser.add_argument("--backends", default=None,
@@ -373,6 +557,8 @@ def main(argv=None) -> int:
         _run_backend_suite(args)
     if args.suite in ("runtime", "all"):
         _run_runtime_suite(args)
+    if args.suite in ("data", "all"):
+        _run_data_suite(args)
     return 0
 
 

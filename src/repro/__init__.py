@@ -24,6 +24,14 @@ Execution runtime:
     ``process`` executor reproduces ``serial`` bit-for-bit on the numpy
     backend.
 
+Streaming & batching:
+    :mod:`repro.data` — :class:`repro.data.DiffractionStore`
+    measurement stores (in-memory reference, chunked on-disk with
+    optional prefetch), :class:`repro.data.BatchPlanner`, and
+    :func:`repro.data.write_store`; configs carry
+    ``data_source=``/``batch_size=``/``prefetch=``, and every setting
+    is fingerprint-identical to the per-position in-memory reference.
+
 Physics / data:
     :func:`repro.physics.simulate_dataset`,
     :func:`repro.physics.scaled_pbtio3_spec`,
@@ -50,6 +58,7 @@ See README.md for a quickstart built on ``repro.reconstruct``.
 __version__ = "1.1.0"
 
 from repro import backend  # noqa: F401  (re-exported subpackages)
+from repro import data  # noqa: F401
 from repro import utils  # noqa: F401
 from repro import physics  # noqa: F401
 from repro import schedule  # noqa: F401
@@ -97,6 +106,7 @@ from repro.runtime import (
 __all__ = [
     "__version__",
     "backend",
+    "data",
     "utils",
     "physics",
     "schedule",

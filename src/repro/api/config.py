@@ -36,6 +36,9 @@ _CONFIG_KEYS = (
     "dtype",
     "executor",
     "runtime_workers",
+    "data_source",
+    "batch_size",
+    "prefetch",
 )
 
 
@@ -104,6 +107,21 @@ class ReconstructionConfig:
         Worker-pool bound for multi-process executors (``None`` = one
         worker per rank, capped at the CPU count).  Ignored by
         ``serial``.
+    data_source:
+        Where measured amplitudes live during the run (see
+        :mod:`repro.data`): ``None``/``"memory"`` pins them in RAM (the
+        bit-identical reference), a path streams from a chunked on-disk
+        store.  Stores never change numerics, so replays from any
+        source agree.
+    batch_size:
+        Probes per batched multislice sweep; ``None`` follows the
+        ambient default (``REPRO_BATCH_SIZE``, else 1 — the
+        per-position reference).  Every value is fingerprint-identical;
+        an explicit value pinned here is never overridden by the
+        environment.
+    prefetch:
+        Overlap on-disk chunk I/O with compute (``None`` = ambient
+        default, off).
     """
 
     solver: str
@@ -113,6 +131,9 @@ class ReconstructionConfig:
     dtype: str = None
     executor: str = None
     runtime_workers: int = None
+    data_source: str = None
+    batch_size: int = None
+    prefetch: bool = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.solver, str) or not self.solver:
@@ -131,6 +152,18 @@ class ReconstructionConfig:
             or self.runtime_workers <= 0
         ):
             raise ValueError("runtime_workers must be a positive int or None")
+        if self.data_source is not None and (
+            not isinstance(self.data_source, str) or not self.data_source
+        ):
+            raise ValueError("data_source must be a non-empty string or None")
+        if self.batch_size is not None and (
+            not isinstance(self.batch_size, int)
+            or isinstance(self.batch_size, bool)
+            or self.batch_size <= 0
+        ):
+            raise ValueError("batch_size must be a positive int or None")
+        if self.prefetch is not None and not isinstance(self.prefetch, bool):
+            raise ValueError("prefetch must be a bool or None")
         # Validates the name only (whether the backend is *registered/
         # available* is a run-time question, so configs written for
         # other machines stay loadable).
@@ -164,6 +197,9 @@ class ReconstructionConfig:
             "dtype": self.dtype,
             "executor": self.executor,
             "runtime_workers": self.runtime_workers,
+            "data_source": self.data_source,
+            "batch_size": self.batch_size,
+            "prefetch": self.prefetch,
         }
 
     @classmethod
@@ -185,14 +221,17 @@ class ReconstructionConfig:
             solver=payload["solver"],
             solver_params=payload.get("solver_params", {}),
             run_params=payload.get("run_params", {}),
-            # Pre-backend/pre-runtime archives carry none of these keys;
-            # they load as "ambient" — which resolves to the
-            # numpy/complex128/serial reference they were produced with
-            # unless redirected.
+            # Pre-backend/pre-runtime/pre-data archives carry none of
+            # these keys; they load as "ambient" — which resolves to
+            # the numpy/complex128/serial/in-memory/per-position
+            # reference they were produced with unless redirected.
             backend=payload.get("backend"),
             dtype=payload.get("dtype"),
             executor=payload.get("executor"),
             runtime_workers=payload.get("runtime_workers"),
+            data_source=payload.get("data_source"),
+            batch_size=payload.get("batch_size"),
+            prefetch=payload.get("prefetch"),
         )
 
     def to_json(self, indent: int = 2) -> str:
@@ -205,23 +244,26 @@ class ReconstructionConfig:
         return cls.from_dict(json.loads(text))
 
     # -- derivation ----------------------------------------------------
+    def _replace(self, **updates: Any) -> "ReconstructionConfig":
+        """New config with the given fields replaced (``None`` values in
+        ``updates`` keep the current field — the CLI-override rule)."""
+        fields = {key: getattr(self, key) for key in _CONFIG_KEYS}
+        fields.update(
+            {k: v for k, v in updates.items() if v is not None}
+        )
+        return ReconstructionConfig(**fields)
+
     def with_solver_params(self, **updates: Any) -> "ReconstructionConfig":
         """New config with ``solver_params`` keys merged/overridden."""
         merged = dict(self.solver_params)
         merged.update(updates)
-        return ReconstructionConfig(
-            self.solver, merged, self.run_params, self.backend,
-            self.dtype, self.executor, self.runtime_workers,
-        )
+        return self._replace(solver_params=merged)
 
     def with_run_params(self, **updates: Any) -> "ReconstructionConfig":
         """New config with ``run_params`` keys merged/overridden."""
         merged = dict(self.run_params)
         merged.update(updates)
-        return ReconstructionConfig(
-            self.solver, self.solver_params, merged, self.backend,
-            self.dtype, self.executor, self.runtime_workers,
-        )
+        return self._replace(run_params=merged)
 
     def with_compute(
         self, backend: str = None, dtype: str = None
@@ -230,15 +272,7 @@ class ReconstructionConfig:
         (``None`` keeps the current value) — how the CLI replays an
         archived run on a different backend, and how the benchmark
         harness sweeps the backend × precision scenario grid."""
-        return ReconstructionConfig(
-            self.solver,
-            self.solver_params,
-            self.run_params,
-            backend if backend is not None else self.backend,
-            dtype if dtype is not None else self.dtype,
-            self.executor,
-            self.runtime_workers,
-        )
+        return self._replace(backend=backend, dtype=dtype)
 
     def with_runtime(
         self, executor: str = None, runtime_workers: int = None
@@ -246,14 +280,22 @@ class ReconstructionConfig:
         """New config with the executor and/or worker bound replaced
         (``None`` keeps the current value) — how the CLI replays an
         archived run under a different execution runtime."""
-        return ReconstructionConfig(
-            self.solver,
-            self.solver_params,
-            self.run_params,
-            self.backend,
-            self.dtype,
-            executor if executor is not None else self.executor,
-            runtime_workers
-            if runtime_workers is not None
-            else self.runtime_workers,
+        return self._replace(
+            executor=executor, runtime_workers=runtime_workers
+        )
+
+    def with_data(
+        self,
+        data_source: str = None,
+        batch_size: int = None,
+        prefetch: bool = None,
+    ) -> "ReconstructionConfig":
+        """New config with the measurement source, batch size and/or
+        prefetch flag replaced (``None`` keeps the current value) — how
+        the CLI replays an archived run against a different store, and
+        how the data benchmark sweeps batch sizes."""
+        return self._replace(
+            data_source=data_source,
+            batch_size=batch_size,
+            prefetch=prefetch,
         )

@@ -17,6 +17,7 @@ import numpy as np
 from repro.api.config import ReconstructionConfig
 from repro.api.registry import solver_from_config
 from repro.backend.base import resolve_backend, resolve_precision
+from repro.data import open_store, resolve_batch_size
 from repro.core.observers import Observer
 from repro.core.reconstructor import ReconstructionResult
 from repro.io.storage import load_result
@@ -67,8 +68,12 @@ def reconstruct(
         up front, before any solver work starts.
     UnknownExecutorError
         Config names an execution runtime that is not registered.
+    StoreFormatError / StoreUnavailableError / ValueError
+        Config names a ``data_source`` that is missing, unreadable,
+        geometry-mismatched, or needs an uninstalled dependency —
+        checked up front, like the backend.
     ValueError
-        Unknown ``run_params`` key.
+        Unknown ``run_params`` key, or a non-positive ``batch_size``.
     """
     if not isinstance(config, ReconstructionConfig):
         config = ReconstructionConfig.from_dict(config)
@@ -91,6 +96,15 @@ def reconstruct(
         if config.executor is not None
         else default_executor_name()
     )
+    # Same fail-fast treatment for the data pipeline: a missing or
+    # geometry-mismatched store surfaces here, and the probe-open also
+    # validates readability (format, version) before any solver work.
+    store, owned = open_store(
+        config.data_source, dataset=dataset
+    )
+    if owned:
+        store.close()
+    resolve_batch_size(config.batch_size)
     solver = solver_from_config(config)
     resume = config.run_params.get("resume")
     if initial_volume is None and resume is not None:

@@ -150,6 +150,9 @@ def solver_from_config(config: "ReconstructionConfig") -> Solver:
         ("dtype", config.dtype),
         ("executor", config.executor),
         ("runtime_workers", config.runtime_workers),
+        ("data_source", config.data_source),
+        ("batch_size", config.batch_size),
+        ("prefetch", config.prefetch),
     ):
         if key in params:
             # The solver_params spelling (direct class use) must not

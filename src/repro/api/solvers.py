@@ -115,6 +115,9 @@ class GradientDecompositionSolver(SolverAdapter):
             "dtype",
             "executor",
             "runtime_workers",
+            "data_source",
+            "batch_size",
+            "prefetch",
         }
     )
 
@@ -161,6 +164,9 @@ class HaloExchangeSolver(SolverAdapter):
             "dtype",
             "executor",
             "runtime_workers",
+            "data_source",
+            "batch_size",
+            "prefetch",
         }
     )
 
@@ -195,7 +201,7 @@ class SerialSolver(SolverAdapter):
 
     accepted_params = frozenset(
         {"iterations", "lr", "scheme", "refine_probe", "probe_lr",
-         "backend", "dtype"}
+         "backend", "dtype", "data_source", "batch_size", "prefetch"}
     )
 
     def _build(self, params: Dict[str, Any]) -> SerialReconstructor:

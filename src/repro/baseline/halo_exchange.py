@@ -79,6 +79,14 @@ class HaloExchangeReconstructor:
         Rank-program placement (see :mod:`repro.runtime`): ``"serial"``
         in-process reference or ``"process"`` worker pool; ``None``
         resolves ``REPRO_EXECUTOR``, else ``serial``.
+    data_source / batch_size / prefetch:
+        Measurement source and batching (see :mod:`repro.data`).  A
+        path streams each rank's (redundant, own + extra) shard lazily
+        from an on-disk store instead of pinning it in RAM — numerics
+        are unchanged.  ``batch_size`` is accepted for config
+        uniformity but is a no-op here: the local solves are sequential
+        SGD, whose semantics forbid batching (pinned by the parity
+        suite).
     """
 
     def __init__(
@@ -95,6 +103,9 @@ class HaloExchangeReconstructor:
         dtype: Optional[str] = None,
         executor: Optional[str] = None,
         runtime_workers: Optional[int] = None,
+        data_source: Optional[str] = None,
+        batch_size: Optional[int] = None,
+        prefetch: bool = False,
     ) -> None:
         if iterations <= 0:
             raise ValueError("iterations must be positive")
@@ -110,10 +121,15 @@ class HaloExchangeReconstructor:
         self.halo = halo
         self.inner_sweeps = inner_sweeps
         self.enforce_tile_constraint = enforce_tile_constraint
+        if batch_size is not None and batch_size <= 0:
+            raise ValueError("batch_size must be positive")
         self.backend = backend
         self.dtype = dtype
         self.executor = executor
         self.runtime_workers = runtime_workers
+        self.data_source = data_source
+        self.batch_size = batch_size
+        self.prefetch = bool(prefetch)
 
     # ------------------------------------------------------------------
     def decompose(self, dataset: PtychoDataset) -> Decomposition:
@@ -221,6 +237,9 @@ class HaloExchangeReconstructor:
                 initial_volume=initial_volume,
                 backend=self.backend,
                 dtype=self.dtype,
+                data_source=self.data_source,
+                batch_size=self.batch_size,
+                prefetch=self.prefetch,
             )
         )
         if callback is not None and session.engine is None:

@@ -20,6 +20,7 @@ import numpy as np
 from repro.backend.base import resolve_backend, resolve_precision
 from repro.core.reconstructor import ReconstructionResult
 from repro.core.decomposition import decompose_gradient
+from repro.data import BatchPlanner, open_store, resolve_batch_size
 from repro.core.observers import (
     IterationEmitter,
     Observer,
@@ -44,6 +45,15 @@ class SerialReconstructor:
     backend / dtype:
         Compute backend and precision policy (see :mod:`repro.backend`);
         ``None`` resolves the ambient defaults.
+    data_source / batch_size / prefetch:
+        Measurement source and batching (see :mod:`repro.data`).
+        ``data_source=None`` reads the in-RAM stack (bit-identical to
+        the historical behaviour); a path streams from an on-disk store.
+        ``batch_size > 1`` runs the full-batch scheme's gradient sweep
+        ``batch_size`` probes per multislice evaluation — bit-identical
+        to per-position order.  The ``"sgd"`` scheme is inherently
+        sequential (each step changes the volume the next probe reads),
+        so it always evaluates per position.
     """
 
     def __init__(
@@ -55,6 +65,9 @@ class SerialReconstructor:
         probe_lr: Optional[float] = None,
         backend: Optional[str] = None,
         dtype: Optional[str] = None,
+        data_source: Optional[str] = None,
+        batch_size: Optional[int] = None,
+        prefetch: bool = False,
     ) -> None:
         if iterations <= 0:
             raise ValueError("iterations must be positive")
@@ -69,6 +82,9 @@ class SerialReconstructor:
         self.probe_lr = probe_lr
         self.backend = backend
         self.dtype = dtype
+        self.data_source = data_source
+        self.batch_size = resolve_batch_size(batch_size)
+        self.prefetch = bool(prefetch)
 
     # ------------------------------------------------------------------
     def reconstruct(
@@ -120,8 +136,16 @@ class SerialReconstructor:
         decomp = decompose_gradient(
             dataset.scan, dataset.object_shape, n_ranks=1, halo="exact"
         )
+        store, owns_store = open_store(
+            self.data_source, dataset=dataset, prefetch=self.prefetch
+        )
+        planner = BatchPlanner(self.batch_size)
+        # In-memory stores account the full stack (the historical
+        # number, byte for byte); out-of-core stores their chunk cache.
         peak_bytes = int(
-            volume.nbytes + gradient.nbytes + dataset.amplitudes.nbytes
+            volume.nbytes
+            + gradient.nbytes
+            + store.shard_nbytes(range(dataset.n_probes))
         )
 
         def result_snapshot(history: List[float]) -> ReconstructionResult:
@@ -135,18 +159,20 @@ class SerialReconstructor:
                 probe=probe.copy() if self.refine_probe else None,
             )
 
-        history: List[float] = []
-        emitter = IterationEmitter("serial", self.iterations, observers)
-        for it in range(self.iterations):
+        windows = dataset.scan.windows
+        # The "sgd" scheme updates the volume between probe reads, so
+        # batching would change the algorithm; only the order-free
+        # full-batch gradient sweep runs through the batched model.
+        batched = self.scheme == "batch" and self.batch_size > 1
+
+        def sweep_per_position() -> float:
             cost = 0.0
-            if self.scheme == "batch":
-                gradient[...] = 0.0
-            probe_gradient[...] = 0.0
-            for i, window in enumerate(dataset.scan.windows):
+            for i, window in enumerate(windows):
                 sl = window.global_slices()
                 patch = volume[:, sl[0], sl[1]]
                 result = model.cost_and_gradient(
-                    probe, patch, dataset.amplitude(i, precision.real_dtype),
+                    probe, patch,
+                    np.asarray(store.read(i), dtype=precision.real_dtype),
                     compute_probe_grad=self.refine_probe,
                 )
                 cost += result.cost
@@ -155,25 +181,73 @@ class SerialReconstructor:
                 else:
                     volume[:, sl[0], sl[1]] -= self.lr * result.object_grad
                 if self.refine_probe and result.probe_grad is not None:
-                    probe_gradient += result.probe_grad
-            if self.scheme == "batch":
-                volume -= self.lr * gradient
-            if self.refine_probe:
-                probe -= probe_step * probe_gradient
-            history.append(cost)
-            if callback is not None:
-                callback(it, cost, volume)
-            emitter.emit(
-                it,
-                cost,
-                messages=0,
-                message_bytes=0,
-                peak_memory_bytes=float(peak_bytes),
-                # Live state at call time; see reconstructor.py.
-                snapshot=lambda: result_snapshot(list(history)),
-            )
+                    probe_gradient[...] += result.probe_grad
+            return cost
 
-        return result_snapshot(history)
+        def sweep_batched() -> float:
+            # Patch gathers, scatters and scalar accumulation stay in
+            # probe order — bit-identical to the per-position sweep.
+            cost = 0.0
+            for chunk in planner.iter_batches(range(dataset.n_probes)):
+                patches = np.stack(
+                    [
+                        volume[
+                            :,
+                            windows[i].global_slices()[0],
+                            windows[i].global_slices()[1],
+                        ]
+                        for i in chunk
+                    ]
+                )
+                result = model.cost_and_gradient_batch(
+                    probe,
+                    patches,
+                    np.asarray(
+                        store.read_batch(chunk),
+                        dtype=precision.real_dtype,
+                    ),
+                    compute_probe_grad=self.refine_probe,
+                )
+                for b, i in enumerate(chunk):
+                    sl = windows[i].global_slices()
+                    cost += float(result.costs[b])
+                    gradient[:, sl[0], sl[1]] += result.object_grads[b]
+                    if (
+                        self.refine_probe
+                        and result.probe_grads is not None
+                    ):
+                        probe_gradient[...] += result.probe_grads[b]
+            return cost
+
+        history: List[float] = []
+        emitter = IterationEmitter("serial", self.iterations, observers)
+        try:
+            for it in range(self.iterations):
+                if self.scheme == "batch":
+                    gradient[...] = 0.0
+                probe_gradient[...] = 0.0
+                cost = sweep_batched() if batched else sweep_per_position()
+                if self.scheme == "batch":
+                    volume -= self.lr * gradient
+                if self.refine_probe:
+                    probe -= probe_step * probe_gradient
+                history.append(cost)
+                if callback is not None:
+                    callback(it, cost, volume)
+                emitter.emit(
+                    it,
+                    cost,
+                    messages=0,
+                    message_bytes=0,
+                    peak_memory_bytes=float(peak_bytes),
+                    # Live state at call time; see reconstructor.py.
+                    snapshot=lambda: result_snapshot(list(history)),
+                )
+
+            return result_snapshot(history)
+        finally:
+            if owns_store:
+                store.close()
 
     # ------------------------------------------------------------------
     def evaluate_cost(

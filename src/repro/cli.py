@@ -5,8 +5,11 @@ Four subcommands cover the simulate -> reconstruct -> analyze workflow:
 .. code-block:: bash
 
     repro-ptycho simulate  --grid 8x8 --detector 24 --slices 2 --out ds.npz
+    repro-ptycho store     --dataset ds.npz --chunk-size 32 --out ds_meas.npz
     repro-ptycho reconstruct --dataset ds.npz --ranks 9 --iterations 10 \
         --out rec.npz
+    repro-ptycho reconstruct --dataset ds.npz --data-store ds_meas.npz \
+        --batch-size 8 --out rec.npz
     repro-ptycho reconstruct --dataset ds.npz --config run.json --out rec.npz
     repro-ptycho predict   --dataset large --algorithm gd --gpus 6,54,462
     repro-ptycho experiment --name table1
@@ -140,9 +143,35 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--runtime-workers", type=int, default=None,
                      help="worker-pool bound for --executor process "
                           "(default: one per rank, capped at CPU count)")
+    rec.add_argument("--data-store", default=None,
+                     help="measurement source: 'memory' (default) or the "
+                          "path of an on-disk store written by the store "
+                          "subcommand; with --config, overrides the "
+                          "config's data_source for replay")
+    rec.add_argument("--batch-size", type=int, default=None,
+                     help="probes per batched multislice sweep (default: "
+                          "REPRO_BATCH_SIZE env or 1 = per-position); "
+                          "bit-identical at every setting")
+    rec.add_argument("--prefetch", action=argparse.BooleanOptionalAction,
+                     default=None,
+                     help="overlap on-disk chunk reads with compute "
+                          "(on-disk --data-store only); --no-prefetch "
+                          "overrides a config that pinned it on")
     rec.add_argument("--resume", default=None,
                      help="warm-start from a saved result archive")
     rec.add_argument("--out", required=True)
+
+    sto = sub.add_parser(
+        "store",
+        help="export a dataset's measurements to a chunked on-disk store",
+    )
+    sto.add_argument("--dataset", required=True)
+    sto.add_argument("--chunk-size", type=int, default=64,
+                     help="probes per on-disk chunk (default 64)")
+    sto.add_argument("--format", choices=["npz", "hdf5"], default=None,
+                     help="store format (default: inferred from --out "
+                          "extension; .h5/.hdf5 -> hdf5, else npz)")
+    sto.add_argument("--out", required=True)
 
     pred = sub.add_parser(
         "predict", help="full-scale performance prediction (Tables II/III)"
@@ -229,6 +258,33 @@ def _config_from_flags(args, dataset) -> "ReconstructionConfig":
             f"{flag} is not supported by solver {args.algorithm!r} "
             f"(accepted parameters: {', '.join(sorted(accepted))})"
         )
+    # Data fields follow the same rule: resolved values for solvers
+    # that stream/batch, hard errors for explicit flags elsewhere.
+    from repro.data import default_batch_size
+
+    data_source = None
+    batch_size = None
+    prefetch = None
+    if "batch_size" in accepted:
+        data_source = args.data_store
+        batch_size = (
+            args.batch_size
+            if args.batch_size is not None
+            else default_batch_size()
+        )
+        prefetch = args.prefetch
+    else:
+        for flag, value in (
+            ("--data-store", args.data_store),
+            ("--batch-size", args.batch_size),
+            ("--prefetch", args.prefetch),
+        ):
+            if value is not None:
+                raise SolverCapabilityError(
+                    f"{flag} is not supported by solver "
+                    f"{args.algorithm!r} (accepted parameters: "
+                    f"{', '.join(sorted(accepted))})"
+                )
     return ReconstructionConfig(
         solver=args.algorithm,
         solver_params=params,
@@ -237,6 +293,9 @@ def _config_from_flags(args, dataset) -> "ReconstructionConfig":
         dtype=args.dtype or default_dtype_name(),
         executor=executor,
         runtime_workers=runtime_workers,
+        data_source=data_source,
+        batch_size=batch_size,
+        prefetch=prefetch,
     )
 
 
@@ -257,6 +316,7 @@ def _cmd_reconstruct(args) -> int:
     from repro.api import ReconstructionConfig, reconstruct
     from repro.api.registry import SolverCapabilityError, UnknownSolverError
     from repro.backend import BackendUnavailableError
+    from repro.data import StoreUnavailableError
     from repro.io import load_dataset, save_result
 
     dataset = load_dataset(args.dataset)
@@ -288,6 +348,19 @@ def _cmd_reconstruct(args) -> int:
                     executor=args.executor,
                     runtime_workers=args.runtime_workers,
                 )
+            if (
+                args.data_store is not None
+                or args.batch_size is not None
+                or args.prefetch is not None
+            ):
+                # --no-prefetch passes False through with_data (only
+                # None means "keep the config's value"), so a replay
+                # can switch an archived prefetch=true off.
+                config = config.with_data(
+                    data_source=args.data_store,
+                    batch_size=args.batch_size,
+                    prefetch=args.prefetch,
+                )
         else:
             config = _config_from_flags(args, dataset)
         resume = config.run_params.get("resume")
@@ -295,13 +368,21 @@ def _cmd_reconstruct(args) -> int:
             print(f"resuming from {resume}")
         result = reconstruct(dataset, config)
     except (UnknownSolverError, SolverCapabilityError,
-            BackendUnavailableError, ValueError, TypeError) as exc:
+            BackendUnavailableError, StoreUnavailableError,
+            ValueError, TypeError) as exc:
         print(f"reconstruct: error: {exc}", file=sys.stderr)
         return 2
 
     path = save_result(args.out, result, config=config)
     print(f"solver: {config.solver}")
     print(f"backend: {config.backend} ({config.dtype})")
+    if config.data_source is not None or (
+        config.batch_size is not None and config.batch_size > 1
+    ):
+        source = config.data_source or "memory"
+        batch = config.batch_size if config.batch_size is not None else 1
+        flags = ", prefetch" if config.prefetch else ""
+        print(f"data: {source} (batch={batch}{flags})")
     if config.executor is not None:
         workers = (
             f", workers={config.runtime_workers}"
@@ -314,6 +395,26 @@ def _cmd_reconstruct(args) -> int:
     print(f"messages: {result.messages}, "
           f"peak memory/rank: {result.peak_memory_mean / 1e6:.2f} MB")
     print(f"wrote {path} (config embedded for replay)")
+    return 0
+
+
+def _cmd_store(args) -> int:
+    from repro.data import StoreUnavailableError, write_store
+    from repro.io import load_dataset
+
+    dataset = load_dataset(args.dataset)
+    try:
+        path = write_store(
+            args.out, dataset, chunk_size=args.chunk_size, fmt=args.format
+        )
+    except (StoreUnavailableError, ValueError) as exc:
+        print(f"store: error: {exc}", file=sys.stderr)
+        return 2
+    n_chunks = -(-dataset.n_probes // args.chunk_size)
+    print(
+        f"wrote {path} ({dataset.n_probes} probes in {n_chunks} "
+        f"chunks of {args.chunk_size})"
+    )
     return 0
 
 
@@ -351,6 +452,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "simulate": _cmd_simulate,
+        "store": _cmd_store,
         "reconstruct": _cmd_reconstruct,
         "predict": _cmd_predict,
         "experiment": _cmd_experiment,

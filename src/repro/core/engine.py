@@ -42,6 +42,13 @@ from repro.backend.base import (
 )
 from repro.core.decomposition import Decomposition
 from repro.core.passes import TAG_NEIGHBOR
+from repro.data import (
+    BatchPlanner,
+    DiffractionStore,
+    InMemoryStore,
+    open_store,
+    resolve_batch_size,
+)
 from repro.parallel.comm import VirtualComm
 from repro.parallel.memory import MemoryTracker
 from repro.physics.dataset import PtychoDataset
@@ -131,6 +138,25 @@ class NumericEngine:
         runtime hands the engine views into shared-memory segments.  The
         engine initializes their contents; shapes and dtypes must match
         what it would have allocated itself.
+    data_source:
+        Where measured amplitudes come from (see :mod:`repro.data`):
+        ``None``/``"memory"`` pins each rank's shard in RAM (the
+        bit-identical historical behaviour), a path opens a chunked
+        on-disk store read lazily per chunk, and a
+        :class:`~repro.data.DiffractionStore` instance is used as-is
+        (caller keeps ownership).  Stores never change numerics — only
+        where the bytes live.
+    batch_size:
+        Probes evaluated per multislice sweep (``None`` resolves
+        ``REPRO_BATCH_SIZE``, else 1).  Batching applies only to
+        order-independent gradient accumulation (synchronous-mode
+        ``ComputeGradients``); sequential-update ops (Alg. 1 local
+        steps, halo-exchange local solves) always run per position
+        because their semantics depend on the update interleaving.
+        Batched execution is bit-identical to per-position execution
+        (pinned by the ``tests/data`` parity suite).
+    prefetch:
+        Overlap the next chunk's I/O with compute (on-disk stores only).
     """
 
     def __init__(
@@ -148,10 +174,24 @@ class NumericEngine:
         dtype: Union[str, PrecisionPolicy, None] = None,
         ranks: Optional[Sequence[int]] = None,
         shared_arrays: Optional[Mapping[Tuple[str, int], np.ndarray]] = None,
+        data_source: Union[str, DiffractionStore, None] = None,
+        batch_size: Optional[int] = None,
+        prefetch: bool = False,
     ) -> None:
         self.dataset = dataset
         self.decomp = decomp
         self.lr = float(lr)
+        self.batch_size = resolve_batch_size(batch_size)
+        self._planner = BatchPlanner(self.batch_size)
+        # open_store geometry-checks every source (paths, instances)
+        # against the dataset.
+        self.store, self._owns_store = open_store(
+            data_source, dataset=dataset, prefetch=prefetch
+        )
+        #: In-memory stores pin each rank's shard (the reference
+        #: behaviour and its byte accounting); out-of-core stores read
+        #: through their bounded chunk cache instead.
+        self._pin_measurements = isinstance(self.store, InMemoryStore)
         if ranks is None:
             self.hosted_ranks: Tuple[int, ...] = tuple(
                 range(decomp.n_ranks)
@@ -250,13 +290,20 @@ class NumericEngine:
         localbuf = (
             np.zeros(shape, dtype=self._cdtype) if self.compensate_local else None
         )
-        # Distribute the measurement shard: each rank stores only the
-        # amplitudes of the probes it evaluates (own + extras for the
-        # halo-exchange flavour) — the distribution that drives the
-        # memory tables.
-        measurements = {
-            i: np.asarray(self.dataset.amplitudes[i]) for i in tile.all_probes
-        }
+        # Distribute the measurement shard: each rank holds only the
+        # probes it evaluates (own + extras for the halo-exchange
+        # flavour) — the distribution that drives the memory tables.
+        # The in-memory reference pins the shard as views (the
+        # historical behaviour, bit for bit); out-of-core stores read
+        # on demand and account their bounded chunk cache instead.
+        if self._pin_measurements:
+            measurements = {
+                i: np.asarray(self.store.read(i)) for i in tile.all_probes
+            }
+            meas_bytes = sum(int(m.nbytes) for m in measurements.values())
+        else:
+            measurements = {}
+            meas_bytes = int(self.store.shard_nbytes(tile.all_probes))
         state = RankState(
             rank=tile.rank,
             core=tile.core,
@@ -268,7 +315,6 @@ class NumericEngine:
         state.measurements = measurements
         self.memory.allocate_array(tile.rank, "volume", volume)
         self.memory.allocate_array(tile.rank, "accbuf", accbuf)
-        meas_bytes = sum(int(m.nbytes) for m in measurements.values())
         self.memory.allocate(tile.rank, "measurements", meas_bytes)
         self.memory.allocate_typed(
             tile.rank, "probe", self.probe.shape, self.probe.dtype
@@ -337,6 +383,42 @@ class NumericEngine:
     def _state(self, rank: int) -> RankState:
         return self._state_by_rank[rank]
 
+    def close(self) -> None:
+        """Release the measurement store (when this engine opened it;
+        caller-supplied store instances stay open).  Idempotent."""
+        if self._owns_store and self.store is not None:
+            self.store.close()
+            self._owns_store = False
+
+    def __enter__(self) -> "NumericEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Measurement reads (store-backed)
+    # ------------------------------------------------------------------
+    def _measured(self, state: RankState, idx: int) -> np.ndarray:
+        """One measured amplitude at compute precision — from the pinned
+        shard when present, else straight from the store."""
+        frame = state.measurements.get(idx)
+        if frame is None:
+            frame = self.store.read(idx)
+        return np.asarray(frame, dtype=self.precision.real_dtype)
+
+    def _measured_batch(
+        self, state: RankState, indices: Sequence[int]
+    ) -> np.ndarray:
+        """``(B, det, det)`` measured stack at compute precision.  The
+        per-item conversion is elementwise, so values are bit-identical
+        to ``B`` separate :meth:`_measured` reads."""
+        if state.measurements:
+            stack = np.stack([state.measurements[i] for i in indices])
+        else:
+            stack = self.store.read_batch(indices)
+        return np.asarray(stack, dtype=self.precision.real_dtype)
+
     # ------------------------------------------------------------------
     # Patch I/O with vacuum padding (gradient truncation support)
     # ------------------------------------------------------------------
@@ -382,14 +464,17 @@ class NumericEngine:
         state = self._state(op.rank)
         state.neighbor_snapshot = None  # buffers change: invalidate
         probe = self._rank_probe(state)
+        # Batched execution is legal only when evaluations within the op
+        # are order-independent: local updates (Alg. 1 line 8) mutate
+        # the volume between probe reads, so they must stay sequential.
+        if self.batch_size > 1 and not op.local_update:
+            self._compute_batched(state, probe, op.probe_indices)
+            return
         for idx in op.probe_indices:
             window = self.dataset.scan.window_of(idx)
             patch = self._read_patch(state, window)
-            measured = np.asarray(
-                state.measurements[idx], dtype=self.precision.real_dtype
-            )
             result = self.model.cost_and_gradient(
-                probe, patch, measured,
+                probe, patch, self._measured(state, idx),
                 compute_probe_grad=self.refine_probe,
             )
             state.cost_accum += result.cost
@@ -405,18 +490,55 @@ class NumericEngine:
             if self.refine_probe and result.probe_grad is not None:
                 state.probe_grad += result.probe_grad
 
+    def _compute_batched(
+        self,
+        state: RankState,
+        probe: np.ndarray,
+        probe_indices: Sequence[int],
+    ) -> None:
+        """Synchronous-mode gradient accumulation, ``batch_size`` probes
+        per multislice sweep.
+
+        All patches of a batch are read before any scatter (no volume
+        writes happen in this mode), the batched model runs the stack
+        through each FFT once, and scatters/cost/probe-gradient
+        accumulation happen per item *in probe order* — the same
+        floating-point accumulation sequence as the per-position path,
+        keeping the two bit-identical.
+        """
+        for chunk in self._planner.iter_batches(probe_indices):
+            windows = [self.dataset.scan.window_of(i) for i in chunk]
+            patches = np.stack(
+                [self._read_patch(state, w) for w in windows]
+            )
+            result = self.model.cost_and_gradient_batch(
+                probe,
+                patches,
+                self._measured_batch(state, chunk),
+                compute_probe_grad=self.refine_probe,
+            )
+            for b, window in enumerate(windows):
+                state.cost_accum += float(result.costs[b])
+                grad = result.object_grads[b]
+                self._scatter(state.accbuf, state, window, grad)
+                if state.localbuf is not None:
+                    self._scatter(state.localbuf, state, window, grad)
+                if self.refine_probe and result.probe_grads is not None:
+                    state.probe_grad += result.probe_grads[b]
+
     def _op_local_solve(self, op: LocalSolve) -> None:
         """Halo Voxel Exchange local phase: plain SGD on the extended tile
-        over own + extra probes, no buffer involvement."""
+        over own + extra probes, no buffer involvement.  Always per
+        position: each SGD step changes the volume the next probe reads,
+        so batching would change the algorithm (see ``batch_size`` doc)."""
         state = self._state(op.rank)
         probe = self._rank_probe(state)
         for idx in op.probe_indices:
             window = self.dataset.scan.window_of(idx)
             patch = self._read_patch(state, window)
-            measured = np.asarray(
-                state.measurements[idx], dtype=self.precision.real_dtype
+            result = self.model.cost_and_gradient(
+                probe, patch, self._measured(state, idx)
             )
-            result = self.model.cost_and_gradient(probe, patch, measured)
             state.cost_accum += result.cost
             self._scatter(
                 state.volume, state, window, result.object_grad, -op.lr

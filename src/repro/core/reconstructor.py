@@ -187,6 +187,17 @@ class GradientDecompositionReconstructor:
         value is never overridden by the environment.  On the numpy
         backend the ``process`` executor reproduces the ``serial``
         result bit-for-bit.
+    data_source / batch_size / prefetch:
+        Measurement source and batching (see :mod:`repro.data`):
+        ``None``/``"memory"`` pins each rank's measurement shard in RAM
+        (the historical behaviour, bit for bit); a path streams lazily
+        from a chunked on-disk store (``prefetch=True`` overlaps the
+        next chunk's I/O with compute).  ``batch_size`` probes run
+        through each multislice sweep as one FFT batch where order
+        permits (``mode="synchronous"``); Alg. 1's per-probe local
+        updates are order-dependent and always evaluate per position.
+        ``None`` resolves ``REPRO_BATCH_SIZE``, else 1; every setting
+        is fingerprint-identical to the per-position reference.
     """
 
     def __init__(
@@ -206,6 +217,9 @@ class GradientDecompositionReconstructor:
         dtype: Optional[str] = None,
         executor: Optional[str] = None,
         runtime_workers: Optional[int] = None,
+        data_source: Optional[str] = None,
+        batch_size: Optional[int] = None,
+        prefetch: bool = False,
     ) -> None:
         if iterations <= 0:
             raise ValueError("iterations must be positive")
@@ -219,6 +233,8 @@ class GradientDecompositionReconstructor:
             raise ValueError("probe_lr must be positive")
         if runtime_workers is not None and runtime_workers <= 0:
             raise ValueError("runtime_workers must be positive")
+        if batch_size is not None and batch_size <= 0:
+            raise ValueError("batch_size must be positive")
         self.n_ranks = n_ranks
         self.mesh = mesh
         self.iterations = iterations
@@ -234,6 +250,9 @@ class GradientDecompositionReconstructor:
         self.dtype = dtype
         self.executor = executor
         self.runtime_workers = runtime_workers
+        self.data_source = data_source
+        self.batch_size = batch_size
+        self.prefetch = bool(prefetch)
 
     # ------------------------------------------------------------------
     def decompose(self, dataset: PtychoDataset) -> Decomposition:
@@ -372,6 +391,9 @@ class GradientDecompositionReconstructor:
                 initial_volume=initial_volume,
                 backend=self.backend,
                 dtype=self.dtype,
+                data_source=self.data_source,
+                batch_size=self.batch_size,
+                prefetch=self.prefetch,
             )
         )
         if callback is not None and session.engine is None:

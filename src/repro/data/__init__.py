@@ -1,0 +1,46 @@
+"""Streaming & batched measurement pipeline (see ``store`` module doc).
+
+Public surface:
+
+* stores — :class:`DiffractionStore` protocol, the in-memory reference,
+  the chunked on-disk implementations, and :func:`open_store` /
+  :func:`write_store` resolution;
+* batching — :class:`BatchPlanner` and the ``REPRO_BATCH_SIZE``
+  resolution helpers;
+* prefetch — the background :class:`ChunkPrefetcher` the on-disk
+  stores share.
+"""
+
+from repro.data.batching import (
+    ENV_BATCH_SIZE,
+    BatchPlanner,
+    default_batch_size,
+    resolve_batch_size,
+)
+from repro.data.prefetch import ChunkPrefetcher
+from repro.data.store import (
+    ChunkedNpzStore,
+    DiffractionStore,
+    Hdf5Store,
+    InMemoryStore,
+    StoreFormatError,
+    StoreUnavailableError,
+    open_store,
+    write_store,
+)
+
+__all__ = [
+    "BatchPlanner",
+    "ChunkPrefetcher",
+    "ChunkedNpzStore",
+    "DiffractionStore",
+    "ENV_BATCH_SIZE",
+    "Hdf5Store",
+    "InMemoryStore",
+    "StoreFormatError",
+    "StoreUnavailableError",
+    "default_batch_size",
+    "open_store",
+    "resolve_batch_size",
+    "write_store",
+]

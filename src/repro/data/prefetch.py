@@ -1,0 +1,80 @@
+"""Single-worker background chunk prefetch.
+
+A :class:`ChunkPrefetcher` overlaps the *next* chunk's I/O with the
+caller's compute on the current one — the classic double-buffering that
+makes sequential out-of-core sweeps I/O-latency free.  One worker thread
+is deliberate: diffraction sweeps read chunks in raster order, so a
+deeper pipeline buys nothing and a thread pool would fight the zip/HDF5
+reader for the file handle.
+
+The prefetcher is storage-agnostic (it is handed a ``load(chunk_index)``
+callable) so both on-disk store flavours share it.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+__all__ = ["ChunkPrefetcher"]
+
+
+class ChunkPrefetcher:
+    """Schedules background loads and hands completed ones back.
+
+    Thread-safety: ``schedule``/``take`` may race with the worker; a
+    single lock guards the pending map.  Failed loads are *not* swallowed
+    — ``take`` re-raises the worker's exception so an unreadable chunk
+    fails the read that needed it, not some later unrelated one.
+    """
+
+    def __init__(self, load: Callable[[int], np.ndarray]) -> None:
+        self._load = load
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-prefetch"
+        )
+        self._lock = threading.Lock()
+        self._pending: Dict[int, Future] = {}
+        self._scheduled = 0
+        self._hits = 0
+        self._closed = False
+
+    def schedule(self, chunk_index: int) -> None:
+        """Start loading ``chunk_index`` in the background (idempotent
+        while a load for it is still in flight; no-op after close)."""
+        with self._lock:
+            if self._closed or chunk_index in self._pending:
+                return
+            self._scheduled += 1
+            self._pending[chunk_index] = self._pool.submit(
+                self._load, chunk_index
+            )
+
+    def take(self, chunk_index: int) -> Optional[np.ndarray]:
+        """The prefetched chunk, blocking on an in-flight load; ``None``
+        when ``chunk_index`` was never scheduled (caller loads inline)."""
+        with self._lock:
+            future = self._pending.pop(chunk_index, None)
+        if future is None:
+            return None
+        self._hits += 1
+        return future.result()
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime scheduled/consumed counts (benchmark telemetry)."""
+        return {
+            "prefetch_scheduled": self._scheduled,
+            "prefetch_hits": self._hits,
+        }
+
+    def close(self) -> None:
+        """Drop pending work and join the worker.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._pending.clear()
+        self._pool.shutdown(wait=True)

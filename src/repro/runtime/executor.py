@@ -102,6 +102,15 @@ class EnginePlan:
     initial_volume: Optional[np.ndarray] = None
     backend: Optional[str] = None
     dtype: Optional[str] = None
+    #: Measurement source / batching (see :mod:`repro.data`).  A path
+    #: (or ``None``/``"memory"``) ships to workers, each of which opens
+    #: its own store handle; file-backed store *instances* are re-opened
+    #: per worker via ``worker_copy()`` (fork would otherwise share the
+    #: parent's file descriptor), while the in-memory reference rides
+    #: fork's page sharing (or the pickle under spawn) as-is.
+    data_source: Optional[object] = None
+    batch_size: Optional[int] = None
+    prefetch: bool = False
 
 
 # ----------------------------------------------------------------------
@@ -186,6 +195,9 @@ class _SerialSession(ExecutionSession):
         self.engine.execute(self._schedule)
         return self.engine.iteration_cost()
 
+    def close(self) -> None:
+        self.engine.close()
+
     def volumes(self) -> List[np.ndarray]:
         return self.engine.volumes()
 
@@ -225,6 +237,9 @@ class SerialExecutor(Executor):
             initial_volume=plan.initial_volume,
             backend=plan.backend,
             dtype=plan.dtype,
+            data_source=plan.data_source,
+            batch_size=plan.batch_size,
+            prefetch=plan.prefetch,
         )
         return _SerialSession(engine, plan.schedule)
 

@@ -103,9 +103,11 @@ def _worker_main(
     timeout: float,
 ) -> None:
     from repro.core.engine import NumericEngine  # after fork/spawn import
+    from repro.data import DiffractionStore
 
     segments: List[shared_memory.SharedMemory] = []
     engine = None
+    worker_store = None
     try:
         cdtype = np.dtype(cdtype_name)
         n_ranks = plan.decomp.n_ranks
@@ -138,6 +140,16 @@ def _worker_main(
                 for t in plan.decomp.tiles
             },
         )
+        # A caller-supplied store instance reaches a *forked* worker
+        # with the parent's open file handle inherited (pickling never
+        # ran), and concurrent reads on one shared descriptor race;
+        # re-open a per-worker copy.  Paths are already safe — each
+        # engine opens its own handle.
+        data_source = plan.data_source
+        if isinstance(data_source, DiffractionStore):
+            data_source = data_source.worker_copy()
+            if data_source is not plan.data_source:
+                worker_store = data_source
         engine = NumericEngine(
             plan.dataset,
             plan.decomp,
@@ -151,6 +163,9 @@ def _worker_main(
             dtype=plan.dtype,
             ranks=hosted,
             shared_arrays=shared_arrays,
+            data_source=data_source,
+            batch_size=plan.batch_size,
+            prefetch=plan.prefetch,
         )
         results.put(("ready", worker_index, None))
 
@@ -174,6 +189,10 @@ def _worker_main(
         except Exception:  # pragma: no cover - queue already broken
             pass
     finally:
+        if engine is not None:
+            engine.close()  # release this worker's store handle
+        if worker_store is not None:
+            worker_store.close()  # the re-opened per-worker copy
         engine = None
         acc_views = {}
         shared_arrays = {}

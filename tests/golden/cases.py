@@ -1,0 +1,121 @@
+"""Golden-case definitions shared by the regression test and the
+regeneration script.
+
+Each case is a fully pinned :class:`~repro.api.ReconstructionConfig` —
+backend, precision, executor and batch size are spelled out explicitly
+so ambient environment knobs (``REPRO_BACKEND=threaded`` CI runs,
+``REPRO_DTYPE``, ``REPRO_EXECUTOR``, ``REPRO_BATCH_SIZE``) can never
+redefine what a golden means — including *which engine path* (batched
+vs per-position) a golden exercises.  The
+fingerprints are SHA-256 digests of the exact result bytes on the
+``numpy``/``complex128`` reference stack, whose FFTs are bit-stable:
+any change to a committed digest is a *numerics change* and must be a
+deliberate, regenerated, explained-in-the-PR event — never a silent
+side effect of a refactor.
+
+Regenerate with::
+
+    PYTHONPATH=src python tests/golden/regen.py
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+from repro.api import ReconstructionConfig
+from repro.backend import use_backend
+from repro.backend.base import ENV_DTYPE
+from repro.physics.dataset import scaled_pbtio3_spec, simulate_dataset
+
+#: Acquisition every golden reconstructs (simulated fresh each run —
+#: the dataset itself is seeded, so only code changes can move it).
+DATASET_SEED = 17
+LR = 0.02
+ITERATIONS = 3
+
+_PINNED = {"backend": "numpy", "dtype": "complex128"}
+
+
+def golden_dataset():
+    """The seeded 4x4-probe acquisition all goldens share.
+
+    The *simulation* must be pinned to the reference stack too —
+    ambient ``REPRO_BACKEND``/``REPRO_DTYPE`` would otherwise move the
+    measured amplitudes (threaded pocketfft differs from ``np.fft`` at
+    machine eps, which float16 rounding can surface) and every golden
+    with them.
+    """
+    spec = scaled_pbtio3_spec(
+        scan_grid=(4, 4), detector_px=16, n_slices=2, overlap_ratio=0.7
+    )
+    ambient_dtype = os.environ.pop(ENV_DTYPE, None)
+    try:
+        with use_backend("numpy"):
+            return simulate_dataset(spec, seed=DATASET_SEED)
+    finally:
+        if ambient_dtype is not None:
+            os.environ[ENV_DTYPE] = ambient_dtype
+
+
+def golden_configs() -> Dict[str, ReconstructionConfig]:
+    """Case name → pinned config, one per solver family plus the
+    batched/streamed variants whose drift the parity suite alone would
+    miss (it only compares them against the *current* reference)."""
+    return {
+        "gd_alg1": ReconstructionConfig(
+            "gd",
+            {"n_ranks": 4, "iterations": ITERATIONS, "lr": LR,
+             "mode": "alg1"},
+            executor="serial",
+            batch_size=1,
+            **_PINNED,
+        ),
+        "gd_synchronous_batched": ReconstructionConfig(
+            "gd",
+            {"n_ranks": 4, "iterations": ITERATIONS, "lr": LR,
+             "mode": "synchronous"},
+            executor="serial",
+            batch_size=3,
+            **_PINNED,
+        ),
+        "gd_probe_refine": ReconstructionConfig(
+            "gd",
+            {"n_ranks": 4, "iterations": ITERATIONS, "lr": LR,
+             "mode": "synchronous", "refine_probe": True},
+            executor="serial",
+            batch_size=1,
+            **_PINNED,
+        ),
+        "hve": ReconstructionConfig(
+            "hve",
+            {"n_ranks": 4, "iterations": ITERATIONS, "lr": LR},
+            executor="serial",
+            batch_size=1,
+            **_PINNED,
+        ),
+        "serial_batch": ReconstructionConfig(
+            "serial",
+            {"iterations": ITERATIONS, "lr": LR, "scheme": "batch"},
+            batch_size=1,
+            **_PINNED,
+        ),
+        "serial_sgd": ReconstructionConfig(
+            "serial",
+            {"iterations": ITERATIONS, "lr": LR, "scheme": "sgd"},
+            batch_size=1,
+            **_PINNED,
+        ),
+    }
+
+
+def compute_fingerprints() -> Dict[str, Dict[str, object]]:
+    """Run every golden case and fingerprint the results."""
+    import repro
+    from tests.helpers import result_fingerprint
+
+    dataset = golden_dataset()
+    return {
+        name: result_fingerprint(repro.reconstruct(dataset, config))
+        for name, config in sorted(golden_configs().items())
+    }

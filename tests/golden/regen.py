@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Regenerate the committed golden fingerprints.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+Rewrites ``tests/golden/goldens.json`` from the current code.  Do this
+only when a numerics change is *intended*; commit the new file together
+with the change and say why in the PR — the whole point of the goldens
+is that silent drift fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_ROOT = _HERE.parents[1]
+for entry in (str(_ROOT), str(_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from tests.golden import cases  # noqa: E402
+
+GOLDEN_PATH = _HERE / "goldens.json"
+
+
+def main() -> int:
+    fingerprints = cases.compute_fingerprints()
+    payload = {
+        "schema": "repro-goldens/1",
+        "dataset_seed": cases.DATASET_SEED,
+        "note": (
+            "SHA-256 fingerprints of seeded reference reconstructions "
+            "on the numpy/complex128 stack; regenerate only for "
+            "deliberate numerics changes (see module docstring)."
+        ),
+        "cases": fingerprints,
+    }
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(fingerprints)} cases)")
+    for name, fp in fingerprints.items():
+        print(f"  {name}: volume {fp['volume_sha256'][:16]}…")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Golden-fingerprint regression tests.
+
+Each seeded reference reconstruction must reproduce its committed
+SHA-256 fingerprint exactly — the tripwire that turns silent numerical
+drift from future refactors into a loud, attributable failure.  See
+``cases.py`` for what is pinned and ``regen.py`` for the (deliberate)
+regeneration workflow.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from tests.golden import cases
+from tests.helpers import result_fingerprint
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "goldens.json"
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    payload = json.loads(GOLDEN_PATH.read_text())
+    assert payload["schema"] == "repro-goldens/1"
+    return payload
+
+
+@pytest.fixture(scope="module")
+def golden_dataset():
+    return cases.golden_dataset()
+
+
+def test_every_config_has_a_committed_golden(goldens):
+    assert sorted(goldens["cases"]) == sorted(cases.golden_configs())
+
+
+@pytest.mark.parametrize("name", sorted(cases.golden_configs()))
+def test_reconstruction_matches_golden(goldens, golden_dataset, name):
+    config = cases.golden_configs()[name]
+    fingerprint = result_fingerprint(
+        repro.reconstruct(golden_dataset, config)
+    )
+    expected = goldens["cases"][name]
+    assert fingerprint == expected, (
+        f"golden {name!r} drifted.  If this numerics change is "
+        f"intended, regenerate with "
+        f"`PYTHONPATH=src python tests/golden/regen.py` and explain "
+        f"the drift in the PR; if not, you just caught a regression."
+    )

@@ -3,21 +3,70 @@
 ``ReferenceBufferExecutor`` re-implements the BufferExchange/AllReduce
 semantics in ~30 independent lines so the engine and the planners can be
 checked against a second, simpler interpretation of the same schedule.
+
+``result_fingerprint`` / ``assert_results_identical`` are the shared
+vocabulary of the streaming parity suite (``tests/data``) and the golden
+regression suite (``tests/golden``): a reconstruction is reduced to
+SHA-256 digests of its exact bytes plus its traffic counters, so "these
+two runs are identical" and "this run still matches the committed
+golden" are literally the same comparison.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List
 
 import numpy as np
 
 from repro.core.decomposition import Decomposition
+from repro.core.reconstructor import ReconstructionResult
 from repro.schedule.ops import (
     AllReduceGradient,
     Barrier,
     BufferExchange,
     Schedule,
 )
+
+
+def array_sha256(array: np.ndarray) -> str:
+    """SHA-256 of an array's exact bytes, prefixed with dtype/shape so
+    a reshaped or recast array never collides with the original."""
+    array = np.ascontiguousarray(array)
+    digest = hashlib.sha256()
+    digest.update(f"{array.dtype.str}:{array.shape}:".encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def result_fingerprint(result: ReconstructionResult) -> Dict[str, object]:
+    """Bit-exact identity of a reconstruction: volume/history digests
+    plus the communication counters (peak memory deliberately excluded —
+    it measures *where bytes live*, which streaming exists to change)."""
+    fp = {
+        "volume_sha256": array_sha256(result.volume),
+        "history_sha256": array_sha256(
+            np.asarray(result.history, dtype=np.float64)
+        ),
+        "messages": int(result.messages),
+        "message_bytes": int(result.message_bytes),
+        "n_iterations": int(result.n_iterations),
+    }
+    if result.probe is not None:
+        fp["probe_sha256"] = array_sha256(result.probe)
+    return fp
+
+
+def assert_results_identical(
+    reference: ReconstructionResult, candidate: ReconstructionResult
+) -> None:
+    """Assert two reconstructions are fingerprint-identical, with an
+    array-level diff on failure (far more debuggable than hash text)."""
+    np.testing.assert_array_equal(reference.volume, candidate.volume)
+    assert reference.history == candidate.history
+    fp_ref = result_fingerprint(reference)
+    fp_new = result_fingerprint(candidate)
+    assert fp_ref == fp_new
 
 
 class ReferenceBufferExecutor:
