@@ -26,7 +26,15 @@ is free — plus the same run streaming from a chunked on-disk store
 (with and without prefetch), and a raw store-read sweep (in-memory vs
 chunked).
 
-``--suite all`` runs all three.
+``--suite service`` -> ``BENCH_service.json``.  The async job layer
+(:mod:`repro.service`): a batch of identical gd reconstructions
+submitted to a :class:`~repro.service.ReconstructionService` at worker
+pool widths 1/2/4, reporting batch makespan, throughput (jobs/s) and
+queue latency (submit -> start, mean and max).  Jobs run in worker
+threads, so the concurrency speedup tracks how well the FFT kernels
+release the GIL on this machine (``cpu_count`` recorded alongside).
+
+``--suite all`` runs all four.
 
 Wall times are best-of-``--repeats`` (min is the standard low-noise
 estimator for micro-benchmarks); speedups are reported against the
@@ -364,6 +372,92 @@ def run_data_suite(sizes, repeats, store_dir) -> List[Dict]:
     return results
 
 
+# ----------------------------------------------------------------------
+# Service suite: job throughput and queue latency vs worker-pool width
+# ----------------------------------------------------------------------
+#: (grid, detector, slices, n_ranks, iterations) of each job, the number
+#: of jobs per batch, and the pool widths swept.
+SERVICE_FULL_SIZES = {
+    "job": ((6, 6), 24, 2, 4, 3),
+    "n_jobs": 8,
+    "worker_counts": [1, 2, 4],
+}
+SERVICE_SMOKE_SIZES = {
+    "job": ((3, 3), 16, 2, 4, 1),
+    "n_jobs": 3,
+    "worker_counts": [1, 2],
+}
+SERVICE_BASELINE_WORKERS = 1
+
+
+def run_service_suite(sizes, repeats, root_dir) -> List[Dict]:
+    import shutil
+
+    from repro.api import ReconstructionConfig
+    from repro.service import JobState, ReconstructionService
+
+    grid, detector, slices, n_ranks, iters = sizes["job"]
+    spec = scaled_pbtio3_spec(
+        scan_grid=grid, detector_px=detector, n_slices=slices,
+        overlap_ratio=0.7,
+    )
+    dataset = simulate_dataset(spec, seed=13)
+    config = ReconstructionConfig(
+        solver="gd",
+        solver_params={
+            "n_ranks": n_ranks, "iterations": iters,
+            "lr": suggest_lr(dataset, alpha=0.35), "mode": "synchronous",
+        },
+    )
+
+    results: List[Dict] = []
+    for workers in sizes["worker_counts"]:
+        best = None
+        for rep in range(repeats):
+            root = Path(root_dir) / f"w{workers}_r{rep}"
+            with ReconstructionService(root, workers=workers) as service:
+                t0 = time.perf_counter()
+                handles = [
+                    service.submit(dataset, config)
+                    for _ in range(sizes["n_jobs"])
+                ]
+                for handle in handles:
+                    state = handle.wait(timeout=600)
+                    assert state == JobState.DONE, handle.record().error
+                makespan = time.perf_counter() - t0
+                latencies = [
+                    h.record().started_at - h.record().submitted_at
+                    for h in handles
+                ]
+            shutil.rmtree(root, ignore_errors=True)
+            sample = {
+                "makespan_s": makespan,
+                "queue_latency_mean_s": sum(latencies) / len(latencies),
+                "queue_latency_max_s": max(latencies),
+            }
+            if best is None or sample["makespan_s"] < best["makespan_s"]:
+                best = sample
+        results.append({
+            "bench": "service_batch",
+            "workers": workers,
+            "n_jobs": sizes["n_jobs"],
+            "iterations": iters,
+            "seconds": best["makespan_s"],
+            "throughput_jobs_per_s": sizes["n_jobs"] / best["makespan_s"],
+            "queue_latency_mean_s": best["queue_latency_mean_s"],
+            "queue_latency_max_s": best["queue_latency_max_s"],
+        })
+
+    base = next(
+        (r["seconds"] for r in results
+         if r["workers"] == SERVICE_BASELINE_WORKERS),
+        None,
+    )
+    for r in results:
+        r["speedup_vs_1worker"] = base / r["seconds"] if base else None
+    return results
+
+
 def run_suite(backends, dtypes, sizes, repeats) -> List[Dict]:
     results: List[Dict] = []
     for bench_name, bench_fn in BENCHES.items():
@@ -528,10 +622,56 @@ def _run_data_suite(args) -> Path:
     return out
 
 
+def _run_service_suite(args) -> Path:
+    import tempfile
+
+    sizes = SERVICE_SMOKE_SIZES if args.smoke else SERVICE_FULL_SIZES
+    repeats = args.repeats or (1 if args.smoke else 3)
+
+    with tempfile.TemporaryDirectory() as root_dir:
+        results = run_service_suite(sizes, repeats, root_dir)
+
+    payload = {
+        "schema": "repro-bench-service/1",
+        "mode": "smoke" if args.smoke else "full",
+        "baseline": {"workers": SERVICE_BASELINE_WORKERS},
+        "machine": _machine_info(),
+        "sizes": {
+            "job": [list(sizes["job"][0]), *sizes["job"][1:]],
+            "n_jobs": sizes["n_jobs"],
+            "worker_counts": list(sizes["worker_counts"]),
+        },
+        "repeats": repeats,
+        "results": results,
+    }
+    out = Path(args.service_out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [
+        [
+            r["bench"], r["workers"], r["n_jobs"],
+            f"{r['seconds']:.2f}",
+            f"{r['throughput_jobs_per_s']:.2f}",
+            f"{r['queue_latency_mean_s'] * 1e3:.0f}",
+            f"{r['speedup_vs_1worker']:.2f}x"
+            if r["speedup_vs_1worker"] else "n/a",
+        ]
+        for r in results
+    ]
+    print(format_table(
+        ["bench", "workers", "jobs", "s", "jobs/s", "q-lat ms",
+         "vs 1 worker"],
+        rows,
+        title=f"service benchmarks ({payload['mode']}) -> {out}",
+    ))
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite",
-                        choices=["backends", "runtime", "data", "all"],
+                        choices=["backends", "runtime", "data", "service",
+                                 "all"],
                         default="backends",
                         help="which benchmark family to run")
     parser.add_argument("--out", default="BENCH_backends.json",
@@ -540,6 +680,8 @@ def main(argv=None) -> int:
                         help="output path of the runtime suite")
     parser.add_argument("--data-out", default="BENCH_data.json",
                         help="output path of the data suite")
+    parser.add_argument("--service-out", default="BENCH_service.json",
+                        help="output path of the service suite")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny sizes + few repeats (CI harness check)")
     parser.add_argument("--backends", default=None,
@@ -559,6 +701,8 @@ def main(argv=None) -> int:
         _run_runtime_suite(args)
     if args.suite in ("data", "all"):
         _run_data_suite(args)
+    if args.suite in ("service", "all"):
+        _run_service_suite(args)
     return 0
 
 

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Reconstruction as a service: three concurrent jobs on a two-worker
+pool, with live progress, a mid-flight pause, and a bit-exact resume.
+
+Demonstrates the ``repro.service`` job layer:
+
+* submit returns a handle immediately; a bounded worker pool runs the
+  queue (priority + aging fairness) while the submitter keeps working;
+* every job's progress is a pollable/subscribable stream of cost, rate
+  and ETA updates;
+* a paused job checkpoints at the iteration boundary and resumes to a
+  final archive bit-identical to an uninterrupted run (gd synchronous
+  and hve are exactly resumable).
+
+Run:
+    python examples/service_demo.py
+"""
+
+import tempfile
+import time
+
+import numpy as np
+
+from repro import (
+    ReconstructionConfig,
+    reconstruct,
+    scaled_pbtio3_spec,
+    simulate_dataset,
+    suggest_lr,
+)
+from repro.service import JobState, ReconstructionService
+
+
+def main() -> None:
+    # 1. One shared acquisition, three differently-configured jobs.
+    spec = scaled_pbtio3_spec(
+        scan_grid=(6, 6), detector_px=24, n_slices=2, overlap_ratio=0.72
+    )
+    dataset = simulate_dataset(spec, seed=7)
+    lr = suggest_lr(dataset, alpha=0.4)
+    iterations = 8
+
+    def gd(mode, n_ranks):
+        return ReconstructionConfig(
+            solver="gd",
+            solver_params={"n_ranks": n_ranks, "iterations": iterations,
+                           "lr": lr, "mode": mode},
+        )
+
+    configs = {
+        "gd-sync-4": gd("synchronous", 4),
+        "gd-sync-9": gd("synchronous", 9),
+        "hve-4": ReconstructionConfig(
+            solver="hve",
+            solver_params={"n_ranks": 4, "iterations": iterations,
+                           "lr": lr},
+        ),
+    }
+
+    with tempfile.TemporaryDirectory() as root:
+        with ReconstructionService(root, workers=2) as service:
+            # 2. Submit all three; handles come back before any finishes.
+            handles = {
+                name: service.submit(dataset, config, job_id=name)
+                for name, config in configs.items()
+            }
+            print(f"submitted {len(handles)} jobs to a 2-worker pool\n")
+
+            # 3. Watch the pool drain: poll each job's progress stream.
+            settled = set()
+            while len(settled) < len(handles):
+                time.sleep(0.05)
+                for name, handle in handles.items():
+                    state = handle.state
+                    stream = handle.progress()
+                    update = stream.poll() if stream else None
+                    if update is not None and name not in settled:
+                        print(f"  {name:10} {state:9} "
+                              f"iter {update.iteration}/{update.total}  "
+                              f"cost {update.cost:.3e}  "
+                              f"{update.iter_per_s:6.1f} it/s")
+                    if state in JobState.SETTLED:
+                        settled.add(name)
+
+            # 4. Every archive matches its serial run bit for bit.
+            print("\nparity vs direct reconstruct():")
+            for name, handle in handles.items():
+                archive = handle.result()
+                direct = reconstruct(dataset, configs[name])
+                exact = (
+                    np.array_equal(archive.volume, direct.volume)
+                    and list(archive.history) == list(direct.history)
+                )
+                print(f"  {name:10} final cost {archive.final_cost:.3e}  "
+                      f"bit-exact: {exact}")
+
+        # 5. Pause/resume: stop a fresh job after 3 iterations, resume
+        #    it under a brand-new service (the checkpoint is durable),
+        #    and verify the stitched result is still bit-exact.
+        print("\npause -> resume (new service over the same root):")
+        config = configs["gd-sync-4"]
+        with ReconstructionService(root, workers=1) as service:
+            handle = service.submit(dataset, config, job_id="paused-job")
+            handle.pause(at_iteration=3)
+            handle.wait()
+            print(f"  paused at iteration "
+                  f"{handle.record().iterations_done}/{iterations}")
+        with ReconstructionService(root, workers=1) as service:
+            handle = service.resume("paused-job")
+            handle.wait()
+            archive = handle.result()
+            direct = reconstruct(dataset, config)
+            print(f"  resumed to {archive.n_iterations} iterations; "
+                  f"bit-exact: {np.array_equal(archive.volume, direct.volume)}")
+
+
+if __name__ == "__main__":
+    main()

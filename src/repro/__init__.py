@@ -24,6 +24,14 @@ Execution runtime:
     ``process`` executor reproduces ``serial`` bit-for-bit on the numpy
     backend.
 
+Reconstruction-as-a-service:
+    :mod:`repro.service` — :class:`repro.service.ReconstructionService`
+    runs submitted configs asynchronously over a bounded worker pool
+    with priority queueing, cancel/pause/resume on durable checkpoints,
+    and live :class:`repro.service.ProgressStream` progress; the
+    ``repro serve`` / ``submit`` / ``jobs`` CLI drives a job directory
+    that survives restarts.
+
 Streaming & batching:
     :mod:`repro.data` — :class:`repro.data.DiffractionStore`
     measurement stores (in-memory reference, chunked on-disk with
@@ -70,6 +78,7 @@ from repro import perfmodel  # noqa: F401
 from repro import metrics  # noqa: F401
 from repro import io  # noqa: F401
 from repro import api  # noqa: F401
+from repro import service  # noqa: F401
 from repro import experiments  # noqa: F401
 
 from repro.core import GradientDecompositionReconstructor, ReconstructionResult
@@ -102,6 +111,7 @@ from repro.runtime import (
     register_executor,
     resolve_executor,
 )
+from repro.service import JobHandle, ReconstructionService
 
 __all__ = [
     "__version__",
@@ -118,6 +128,7 @@ __all__ = [
     "metrics",
     "io",
     "api",
+    "service",
     "experiments",
     "GradientDecompositionReconstructor",
     "ReconstructionResult",
@@ -145,4 +156,6 @@ __all__ = [
     "executor_names",
     "register_executor",
     "resolve_executor",
+    "ReconstructionService",
+    "JobHandle",
 ]

@@ -49,7 +49,11 @@ from repro.api.events import (
     IterationEvent,
     Observer,
 )
-from repro.api.reconstruct import RUN_PARAM_KEYS, reconstruct
+from repro.api.reconstruct import (
+    RUN_PARAM_KEYS,
+    ResumeMismatchError,
+    reconstruct,
+)
 
 __all__ = [
     "ReconstructionConfig",
@@ -69,5 +73,6 @@ __all__ = [
     "CheckpointPolicy",
     "HistoryRecorder",
     "reconstruct",
+    "ResumeMismatchError",
     "RUN_PARAM_KEYS",
 ]

@@ -19,6 +19,7 @@ that need structured values accept their JSON spelling instead (e.g. the
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from types import MappingProxyType
@@ -27,6 +28,24 @@ from typing import Any, Dict, Mapping
 from repro.backend.base import PrecisionPolicy
 
 __all__ = ["ReconstructionConfig"]
+
+#: Keys that never change a run's numerics — *where* and *how much at a
+#: time* work happens, not *what* is computed.  ``iterations`` is here
+#: because a resumed leg legitimately runs fewer iterations than the
+#: archived run it continues; executor/store/batch settings are here
+#: because every one of them is fingerprint-identical by the parity
+#: suites' guarantees.  ``backend``/``dtype`` are *not* neutral:
+#: threaded FFTs and complex64 both change the bits.
+_FINGERPRINT_NEUTRAL_KEYS = frozenset(
+    {
+        "iterations",
+        "executor",
+        "runtime_workers",
+        "data_source",
+        "batch_size",
+        "prefetch",
+    }
+)
 
 _CONFIG_KEYS = (
     "solver",
@@ -242,6 +261,50 @@ class ReconstructionConfig:
     def from_json(cls, text: str) -> "ReconstructionConfig":
         """Inverse of :meth:`to_json`."""
         return cls.from_dict(json.loads(text))
+
+    # -- identity ------------------------------------------------------
+    def fingerprint(self) -> str:
+        """SHA-256 identity of the *numerics* this config describes.
+
+        Two configs share a fingerprint exactly when they would drive
+        the same solver arithmetic on the same data: the solver name,
+        every numerics-relevant solver parameter, and the resolved
+        backend/precision pair.  Deliberately excluded (see
+        ``_FINGERPRINT_NEUTRAL_KEYS``): ``iterations`` (a resumed leg
+        runs the *remaining* iterations), run params, and the
+        executor/store/batching knobs, all of which are
+        fingerprint-identical by construction.  Ambient ``None``
+        backend/dtype fields resolve at call time, so a config that
+        spells ``"numpy"`` explicitly matches one that inherits it.
+
+        This is what resume validation compares: a checkpoint archived
+        under one fingerprint refuses to seed a run with another (see
+        :class:`repro.api.reconstruct.ResumeMismatchError`).
+        """
+        from repro.backend.base import (
+            default_dtype_name,
+            resolve_backend,
+        )
+
+        backend = self.backend
+        if backend is None:
+            backend = resolve_backend(None).name
+        dtype = self.dtype if self.dtype is not None else default_dtype_name()
+        params = {
+            k: v
+            for k, v in sorted(self.solver_params.items())
+            if k not in _FINGERPRINT_NEUTRAL_KEYS
+        }
+        payload = json.dumps(
+            {
+                "solver": self.solver,
+                "solver_params": params,
+                "backend": backend,
+                "dtype": dtype,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
 
     # -- derivation ----------------------------------------------------
     def _replace(self, **updates: Any) -> "ReconstructionConfig":

@@ -24,10 +24,26 @@ from repro.io.storage import load_result
 from repro.physics.dataset import PtychoDataset
 from repro.runtime.executor import default_executor_name, get_executor
 
-__all__ = ["reconstruct", "RUN_PARAM_KEYS"]
+__all__ = ["reconstruct", "ResumeMismatchError", "RUN_PARAM_KEYS"]
 
 #: run_params keys :func:`reconstruct` understands.
-RUN_PARAM_KEYS = frozenset({"resume"})
+RUN_PARAM_KEYS = frozenset({"resume", "resume_unchecked"})
+
+
+class ResumeMismatchError(ValueError):
+    """A resume archive was produced by numerically different config.
+
+    Raised when the config embedded in a ``run_params={"resume": path}``
+    archive has a different :meth:`~repro.api.config.
+    ReconstructionConfig.fingerprint` than the submitted config — i.e.
+    the checkpoint was written by a different solver, different
+    numerics-relevant solver parameters, or a different
+    backend/precision pair, so silently continuing would reconstruct
+    the wrong thing.  Archives without an embedded config skip the
+    check (nothing to compare); ``run_params={"resume_unchecked":
+    True}`` skips it explicitly (deliberate warm-starting across
+    configs, e.g. seeding a complex64 run from a complex128 archive).
+    """
 
 
 def reconstruct(
@@ -72,6 +88,11 @@ def reconstruct(
         Config names a ``data_source`` that is missing, unreadable,
         geometry-mismatched, or needs an uninstalled dependency —
         checked up front, like the backend.
+    ResumeMismatchError
+        ``run_params["resume"]`` names an archive whose embedded config
+        has a different numerics fingerprint than ``config`` (pass
+        ``run_params={"resume_unchecked": True}`` to warm-start across
+        configs deliberately).
     ValueError
         Unknown ``run_params`` key, or a non-positive ``batch_size``.
     """
@@ -108,7 +129,33 @@ def reconstruct(
     solver = solver_from_config(config)
     resume = config.run_params.get("resume")
     if initial_volume is None and resume is not None:
-        initial_volume = load_result(resume).volume
+        archive = load_result(resume)
+        if archive.config is not None and not config.run_params.get(
+            "resume_unchecked"
+        ):
+            expected = archive.config.fingerprint()
+            actual = config.fingerprint()
+            if expected != actual:
+                raise ResumeMismatchError(
+                    f"resume archive {resume} was produced by a "
+                    f"numerically different configuration (archived "
+                    f"solver {archive.config.solver!r} on backend "
+                    f"{archive.config.backend or 'ambient'}/"
+                    f"{archive.config.dtype or 'ambient'}, fingerprint "
+                    f"{expected[:12]}; submitted {config.solver!r} on "
+                    f"{config.backend or 'ambient'}/"
+                    f"{config.dtype or 'ambient'}, fingerprint "
+                    f"{actual[:12]}); pass run_params="
+                    '{"resume_unchecked": true} to warm-start across '
+                    "configs deliberately"
+                )
+        initial_volume = archive.volume
+        # A refined probe archived with the checkpoint is part of the
+        # optimization state; forwarding it makes resume bit-exact for
+        # probe-refining runs instead of silently restarting the probe
+        # from the dataset's nominal one.
+        if initial_probe is None and archive.probe is not None:
+            initial_probe = archive.probe
     return solver.reconstruct(
         dataset,
         observers=observers,

@@ -42,6 +42,7 @@ variables (how CI runs the whole tier-1 suite on the threaded backend)
 from __future__ import annotations
 
 import os
+import threading
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -58,7 +59,9 @@ __all__ = [
     "BackendUnavailableError",
     "register_backend",
     "unregister_backend",
+    "acquire_backend",
     "release_backend",
+    "backend_refcount",
     "shutdown_backends",
     "backend_names",
     "available_backend_names",
@@ -248,6 +251,14 @@ class ArrayBackend(ABC):
 # ----------------------------------------------------------------------
 _REGISTRY: Dict[str, Type[ArrayBackend]] = {}
 _INSTANCES: Dict[str, ArrayBackend] = {}
+#: Outstanding :func:`acquire_backend` leases per cached instance.  A
+#: :func:`release_backend` call only closes the instance when the last
+#: lease is returned, so one service job finishing cannot tear down the
+#: plan cache another concurrently-running job is transforming through.
+_REFCOUNTS: Dict[str, int] = {}
+#: Guards every mutation of the registry/instance/refcount tables.
+#: Reentrant: ``acquire_backend`` calls ``get_backend`` under the lock.
+_LOCK = threading.RLock()
 #: One-slot mutable cell holding the in-code default — a name *or a
 #: configured instance* (``use_backend(ThreadedFFTBackend(workers=2))``
 #: must honour the caller's instance, not just its registry name).
@@ -282,8 +293,9 @@ def register_backend(
                 "to replace"
             )
         cls.name = name
-        _REGISTRY[name] = cls
-        _close_instance(name)
+        with _LOCK:
+            _REGISTRY[name] = cls
+            _close_instance(name)
         return cls
 
     return decorator
@@ -292,8 +304,11 @@ def register_backend(
 def _close_instance(name: str) -> None:
     """Evict and close the cached instance under ``name`` (if any) —
     registry-held backends must not leak worker pools or plan caches
-    when their registration goes away."""
-    instance = _INSTANCES.pop(name, None)
+    when their registration goes away.  Any outstanding leases are
+    voided (re-registration/teardown is a force-close)."""
+    with _LOCK:
+        _REFCOUNTS.pop(name, None)
+        instance = _INSTANCES.pop(name, None)
     if instance is not None:
         instance.close()
 
@@ -301,26 +316,76 @@ def _close_instance(name: str) -> None:
 def unregister_backend(name: str) -> None:
     """Remove a registration (mainly for tests and plugin teardown);
     the cached instance, if any, is closed."""
-    if name not in _REGISTRY:
-        raise UnknownBackendError(_unknown_message(name))
-    del _REGISTRY[name]
-    _close_instance(name)
+    with _LOCK:
+        if name not in _REGISTRY:
+            raise UnknownBackendError(_unknown_message(name))
+        del _REGISTRY[name]
+        _close_instance(name)
+
+
+def acquire_backend(spec: Union[str, ArrayBackend]) -> ArrayBackend:
+    """Resolve ``spec`` like :func:`get_backend` and take a lease on the
+    cached instance.
+
+    Concurrent holders (e.g. service workers running jobs on the same
+    backend) each acquire their own lease; :func:`release_backend` only
+    closes the shared instance when the last lease is returned.  Caller
+    contract::
+
+        backend = acquire_backend("threaded")
+        try:
+            ...  # run a job through it
+        finally:
+            release_backend(backend.name)
+
+    An instance passed directly (not registry-cached) is returned as-is
+    without a lease — its lifecycle belongs to whoever constructed it.
+    """
+    with _LOCK:
+        backend = get_backend(spec)
+        name = backend.name
+        if _INSTANCES.get(name) is backend:
+            _REFCOUNTS[name] = _REFCOUNTS.get(name, 0) + 1
+        return backend
 
 
 def release_backend(name: str) -> None:
-    """Close and evict the registry's cached instance of ``name`` (the
-    registration itself stays).  The next :func:`get_backend` lookup
-    constructs a fresh instance — how long-lived services recycle a
-    backend's worker pool and plan cache without re-registering."""
-    if name not in _REGISTRY:
-        raise UnknownBackendError(_unknown_message(name))
-    _close_instance(name)
+    """Return a lease on (or force-recycle) the cached instance of
+    ``name``; the registration itself stays.
+
+    With outstanding :func:`acquire_backend` leases, the instance is
+    closed and evicted only when the *last* lease is returned — earlier
+    calls just decrement the count, so one job's completion cannot close
+    a plan cache another job is mid-transform on.  Without leases (the
+    pre-service calling convention), the instance is closed and evicted
+    immediately; the next :func:`get_backend` constructs a fresh one.
+    """
+    with _LOCK:
+        if name not in _REGISTRY:
+            raise UnknownBackendError(_unknown_message(name))
+        count = _REFCOUNTS.get(name, 0)
+        if count > 1:
+            _REFCOUNTS[name] = count - 1
+            return
+        _close_instance(name)
+
+
+def backend_refcount(name: str = None) -> Union[int, Dict[str, int]]:
+    """Outstanding leases for ``name`` (0 if none), or — with no
+    argument — a snapshot of every non-zero count.  The service leak
+    check asserts this is empty after its worker pool drains."""
+    with _LOCK:
+        if name is not None:
+            return _REFCOUNTS.get(name, 0)
+        return {n: c for n, c in _REFCOUNTS.items() if c > 0}
 
 
 def shutdown_backends() -> None:
     """Close and evict every cached backend instance (process teardown
     hook for services embedding the library)."""
-    for name in list(_INSTANCES):
+    with _LOCK:
+        names = list(_INSTANCES)
+    for name in names:
         _close_instance(name)
 
 
@@ -352,12 +417,15 @@ def get_backend(spec: Union[str, ArrayBackend]) -> ArrayBackend:
             f"backend {name!r} is registered but not available in this "
             f"environment (available: {', '.join(available_backend_names()) or '(none)'})"
         )
-    cached = _INSTANCES.get(name)
-    if cached is None or getattr(cached, "closed", False):
-        # A user-closed instance must not poison later resolutions of
-        # the name — rebuild instead of handing out a dead backend.
-        _INSTANCES[name] = cls()
-    return _INSTANCES[name]
+    with _LOCK:
+        cached = _INSTANCES.get(name)
+        if cached is None or getattr(cached, "closed", False):
+            # A user-closed instance must not poison later resolutions
+            # of the name — rebuild instead of handing out a dead
+            # backend (stale leases on the dead instance are voided).
+            _REFCOUNTS.pop(name, None)
+            _INSTANCES[name] = cls()
+        return _INSTANCES[name]
 
 
 def resolve_backend(

@@ -32,6 +32,7 @@ bit-identity guarantees on the numpy backend only.
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
@@ -101,6 +102,12 @@ class ThreadedFFTBackend(ArrayBackend):
         self._hits = 0
         self._evictions = 0
         self._closed = False
+        # Concurrent service workers share one registry-cached instance;
+        # the OrderedDict mutations (insert, move_to_end, LRU pop) are
+        # not atomic, so plan lookup/creation and close serialize here.
+        # The transforms themselves run outside the lock (scipy releases
+        # the GIL), so only the bookkeeping is single-file.
+        self._lock = threading.Lock()
 
     @classmethod
     def available(cls) -> bool:
@@ -133,33 +140,35 @@ class ThreadedFFTBackend(ArrayBackend):
         Lookups refresh LRU order; creation beyond ``max_plans`` evicts
         the least-recently-used signature.
         """
-        if self._closed:
-            raise RuntimeError(
-                "ThreadedFFTBackend is closed; construct a new instance "
-                "(or let the registry do it via get_backend)"
-            )
-        key = (a.shape, a.dtype)
-        plan = self._plans.get(key)
-        if plan is None:
-            workers = 1 if a.size < _SERIAL_CUTOFF else self.workers
-            plan = FFTPlan(shape=a.shape, dtype=a.dtype, workers=workers)
-            self._plans[key] = plan
-            if len(self._plans) > self.max_plans:
-                self._plans.popitem(last=False)
-                self._evictions += 1
-        else:
-            self._plans.move_to_end(key)
-            plan.hits += 1
-            self._hits += 1
-        return plan
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(
+                    "ThreadedFFTBackend is closed; construct a new instance "
+                    "(or let the registry do it via get_backend)"
+                )
+            key = (a.shape, a.dtype)
+            plan = self._plans.get(key)
+            if plan is None:
+                workers = 1 if a.size < _SERIAL_CUTOFF else self.workers
+                plan = FFTPlan(shape=a.shape, dtype=a.dtype, workers=workers)
+                self._plans[key] = plan
+                if len(self._plans) > self.max_plans:
+                    self._plans.popitem(last=False)
+                    self._evictions += 1
+            else:
+                self._plans.move_to_end(key)
+                plan.hits += 1
+                self._hits += 1
+            return plan
 
     def plan_stats(self) -> dict:
         """Distinct live plans, total cache hits, and LRU evictions."""
-        return {
-            "plans": len(self._plans),
-            "hits": self._hits,
-            "evictions": self._evictions,
-        }
+        with self._lock:
+            return {
+                "plans": len(self._plans),
+                "hits": self._hits,
+                "evictions": self._evictions,
+            }
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -168,10 +177,13 @@ class ThreadedFFTBackend(ArrayBackend):
         scipy's per-call worker threads are joined inside each
         transform, so the pool itself holds nothing between calls; what
         a long-lived service leaks by re-constructing backends is plan
-        state — this releases it deterministically.  Idempotent.
+        state — this releases it deterministically.  Idempotent, and
+        serialized against in-flight plan lookups so a closing job never
+        clears the cache mid-mutation.
         """
-        self._plans.clear()
-        self._closed = True
+        with self._lock:
+            self._plans.clear()
+            self._closed = True
 
     @property
     def closed(self) -> bool:

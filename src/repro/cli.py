@@ -14,6 +14,23 @@ Four subcommands cover the simulate -> reconstruct -> analyze workflow:
     repro-ptycho predict   --dataset large --algorithm gd --gpus 6,54,462
     repro-ptycho experiment --name table1
 
+Three more drive the async job layer (:mod:`repro.service`) against a
+filesystem job root that survives restarts:
+
+.. code-block:: bash
+
+    repro-ptycho submit --root jobs/ --dataset ds.npz --config run.json
+    repro-ptycho serve  --root jobs/ --workers 2 --drain
+    repro-ptycho jobs   --root jobs/                  # list + live progress
+    repro-ptycho jobs   --root jobs/ --cancel JOBID --at-iteration 5
+    repro-ptycho jobs   --root jobs/ --resume JOBID   # requeue from checkpoint
+
+``submit`` and ``jobs`` only touch the job directory, so they work with
+or without a running server: submissions queue up for the next ``serve``,
+cancel requests are honoured by a live server at the next iteration
+boundary, and ``--resume`` requeues a settled job from its consolidated
+checkpoint.
+
 Reconstruction dispatches through the :mod:`repro.api` solver registry:
 ``--algorithm`` choices are whatever is registered (third-party solvers
 included), ``--config`` runs a serialized
@@ -186,6 +203,49 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp = sub.add_parser("experiment", help="regenerate a paper artifact")
     exp.add_argument("--name", required=True, choices=experiment_names())
+
+    srv = sub.add_parser(
+        "serve", help="run a reconstruction service over a job directory"
+    )
+    srv.add_argument("--root", required=True,
+                     help="job directory (created if missing; durable "
+                          "across restarts)")
+    srv.add_argument("--workers", type=int, default=2,
+                     help="concurrent jobs (default 2)")
+    srv.add_argument("--checkpoint-every", type=int, default=None,
+                     help="periodic checkpoint cadence in iterations "
+                          "(crash recovery resumes from these)")
+    srv.add_argument("--drain", action="store_true",
+                     help="exit once every queued job has settled "
+                          "instead of serving forever")
+
+    smt = sub.add_parser(
+        "submit", help="queue a reconstruction job in a job directory"
+    )
+    smt.add_argument("--root", required=True)
+    smt.add_argument("--dataset", required=True,
+                     help="dataset archive (referenced in place)")
+    smt.add_argument("--config", required=True,
+                     help="JSON ReconstructionConfig file")
+    smt.add_argument("--priority", type=int, default=0,
+                     help="higher dequeues first (default 0)")
+    smt.add_argument("--job-id", default=None,
+                     help="explicit job id (default: generated)")
+
+    job = sub.add_parser(
+        "jobs", help="list or control jobs in a job directory"
+    )
+    job.add_argument("--root", required=True)
+    job.add_argument("--cancel", metavar="JOBID", default=None,
+                     help="request cancellation (takes effect at the "
+                          "next iteration boundary of a live server)")
+    job.add_argument("--pause", metavar="JOBID", default=None,
+                     help="like --cancel but the job lands in PAUSED")
+    job.add_argument("--at-iteration", type=int, default=None,
+                     help="with --cancel/--pause: defer until this many "
+                          "global iterations are banked")
+    job.add_argument("--resume", metavar="JOBID", default=None,
+                     help="requeue a settled job from its checkpoint")
     return parser
 
 
@@ -447,6 +507,138 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import ReconstructionService
+
+    try:
+        service = ReconstructionService(
+            args.root,
+            workers=args.workers,
+            checkpoint_every=args.checkpoint_every,
+        )
+    except ValueError as exc:
+        print(f"serve: error: {exc}", file=sys.stderr)
+        return 2
+    stats = service.stats()
+    print(f"serving {args.root} with {args.workers} worker(s)"
+          f" ({stats['recovered']} job(s) recovered)")
+    try:
+        if args.drain:
+            service.drain()
+        else:  # pragma: no cover - interactive mode
+            import time as _time
+
+            while True:
+                _time.sleep(1.0)
+    except KeyboardInterrupt:  # pragma: no cover - interactive mode
+        print("interrupted; finishing running jobs")
+    finally:
+        service.close()
+    stats = service.stats()
+    print(f"settled: {stats['done']} done, {stats['failed']} failed, "
+          f"{stats['cancelled']} cancelled, {stats['paused']} paused")
+    return 1 if stats["failed"] else 0
+
+
+def _cmd_submit(args) -> int:
+    from pathlib import Path
+
+    from repro.api import ReconstructionConfig
+    from repro.service import JobError, create_job
+
+    try:
+        config_text = Path(args.config).read_text()
+    except OSError as exc:
+        print(f"submit: error: cannot read --config {args.config}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        config = ReconstructionConfig.from_json(config_text)
+        record = create_job(
+            args.root,
+            args.dataset,
+            config,
+            priority=args.priority,
+            job_id=args.job_id,
+        )
+    except (JobError, ValueError, OSError) as exc:
+        print(f"submit: error: {exc}", file=sys.stderr)
+        return 2
+    print(f"submitted {record.job_id} ({config.solver}, "
+          f"{record.iterations_total} iterations, "
+          f"priority {record.priority})")
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    from repro.service import (
+        JobError,
+        jobs as jobstore,
+        prepare_resume,
+        read_progress,
+        request_control,
+    )
+
+    actions = [
+        a for a in (args.cancel, args.pause, args.resume) if a is not None
+    ]
+    if len(actions) > 1:
+        print("jobs: error: give at most one of --cancel/--pause/--resume",
+              file=sys.stderr)
+        return 2
+    if args.at_iteration is not None and not (args.cancel or args.pause):
+        print("jobs: error: --at-iteration needs --cancel or --pause",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.cancel or args.pause:
+            job_id = args.cancel or args.pause
+            action = "cancel" if args.cancel else "pause"
+            jobstore.load_record(args.root, job_id)  # existence check
+            request_control(args.root, job_id, action, args.at_iteration)
+            when = (
+                f"once {args.at_iteration} iterations are banked"
+                if args.at_iteration is not None
+                else "at the next iteration boundary"
+            )
+            print(f"{action} requested for {job_id} ({when})")
+            return 0
+        if args.resume:
+            record = prepare_resume(args.root, args.resume)
+            print(f"requeued {record.job_id} from iteration "
+                  f"{record.iterations_done} (resume #{record.resumes})")
+            return 0
+    except (JobError, FileNotFoundError) as exc:
+        print(f"jobs: error: {exc}", file=sys.stderr)
+        return 2
+
+    job_ids = jobstore.list_job_ids(args.root)
+    if not job_ids:
+        print(f"no jobs under {args.root}")
+        return 0
+    print(f"{'JOB':14} {'STATE':10} {'PRI':>3} {'ITER':>9} "
+          f"{'RESUMES':>7}  DETAIL")
+    for job_id in job_ids:
+        record = jobstore.load_record(args.root, job_id)
+        detail = ""
+        if record.state == "RUNNING":
+            update = read_progress(
+                jobstore.job_dir(args.root, job_id) / "progress.json"
+            )
+            if update is not None:
+                detail = f"cost {update.cost:.3e}, {update.iter_per_s:.2f} it/s"
+        elif record.state == "FAILED" and record.error:
+            detail = record.error.strip().splitlines()[-1]
+        done = (
+            record.iterations_done if record.state != "DONE"
+            else record.iterations_total
+        )
+        print(f"{record.job_id:14} {record.state:10} "
+              f"{record.priority:>3} {done:>4}/{record.iterations_total:<4} "
+              f"{record.resumes:>7}  {detail}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -456,6 +648,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "reconstruct": _cmd_reconstruct,
         "predict": _cmd_predict,
         "experiment": _cmd_experiment,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
     }
     return handlers[args.command](args)
 

@@ -130,6 +130,13 @@ class ResultArchive:
         """Last recorded sweep cost."""
         return self.history[-1] if self.history else float("nan")
 
+    @property
+    def n_iterations(self) -> int:
+        """Iterations the archived run performed (mirrors
+        :attr:`ReconstructionResult.n_iterations`, so archives and live
+        results fingerprint interchangeably)."""
+        return len(self.history)
+
 
 def save_result(
     path: Union[str, Path],

@@ -32,6 +32,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import queue as queue_mod
+import threading
 import traceback
 from multiprocessing import shared_memory
 from typing import Any, Dict, List, Optional, Tuple
@@ -53,6 +54,32 @@ from repro.runtime.process_comm import (
 )
 
 __all__ = ["ProcessExecutor", "partition_ranks"]
+
+# Registering/unregistering with multiprocessing's resource tracker takes
+# a process-wide RLock.  With fork workers, a child forked by one thread
+# while another thread holds that lock (creating or unlinking a segment
+# or semaphore for a different session) inherits it permanently locked
+# and deadlocks on its first attach.  Serializing every tracker-touching
+# span in this module — the only shm/semaphore user in-process — keeps
+# the lock free at every fork point, so concurrent sessions (e.g. service
+# worker threads) are safe.
+_TRACKER_LOCK = threading.Lock()
+
+
+def _reset_child_tracker_lock() -> None:
+    """Give a freshly forked worker its own resource-tracker lock.
+
+    The fork snapshots only the calling thread, so a tracker lock held
+    by any other parent thread (a GC finalizer unregistering a SemLock,
+    say) would never be released in the child.  The child is
+    single-threaded here, so replacing the lock is safe; under spawn it
+    is a fresh lock anyway and the swap is a no-op in effect.
+    """
+    from multiprocessing import resource_tracker
+
+    tracker = getattr(resource_tracker, "_resource_tracker", None)
+    if tracker is not None and hasattr(tracker, "_lock"):
+        tracker._lock = threading.RLock()
 
 
 def partition_ranks(n_ranks: int, n_workers: int) -> List[Tuple[int, ...]]:
@@ -105,6 +132,7 @@ def _worker_main(
     from repro.core.engine import NumericEngine  # after fork/spawn import
     from repro.data import DiffractionStore
 
+    _reset_child_tracker_lock()
     segments: List[shared_memory.SharedMemory] = []
     engine = None
     worker_store = None
@@ -251,53 +279,54 @@ class _ProcessSession(ExecutionSession):
         shm_names: Dict[Tuple[str, int], str] = {}
         self._vol_views: Optional[List[np.ndarray]] = []
         try:
-            for rank in range(self._n_ranks):
-                nbytes = max(
-                    1,
-                    int(np.prod(self._tile_shapes[rank], dtype=np.int64))
-                    * cdtype.itemsize,
-                )
-                for kind in ("volume", "accbuf"):
-                    seg = shared_memory.SharedMemory(
-                        create=True, size=nbytes
+            with _TRACKER_LOCK:
+                for rank in range(self._n_ranks):
+                    nbytes = max(
+                        1,
+                        int(np.prod(self._tile_shapes[rank], dtype=np.int64))
+                        * cdtype.itemsize,
                     )
-                    self._segments.append(seg)
-                    shm_names[(kind, rank)] = seg.name
-                    if kind == "volume":
-                        self._vol_views.append(
-                            _view(seg, self._tile_shapes[rank], cdtype)
+                    for kind in ("volume", "accbuf"):
+                        seg = shared_memory.SharedMemory(
+                            create=True, size=nbytes
                         )
+                        self._segments.append(seg)
+                        shm_names[(kind, rank)] = seg.name
+                        if kind == "volume":
+                            self._vol_views.append(
+                                _view(seg, self._tile_shapes[rank], cdtype)
+                            )
 
-            self._channels = CommChannels(
-                inboxes=[ctx.Queue() for _ in range(self._n_ranks)],
-                gather=ctx.Queue(),
-                bcast=[ctx.Queue() for _ in range(n_workers)],
-                barrier=ctx.Barrier(n_workers),
-                n_workers=n_workers,
-            )
-            self._controls = [ctx.Queue() for _ in range(n_workers)]
-            self._results = ctx.Queue()
-
-            for w, hosted in enumerate(self._blocks):
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(
-                        w,
-                        hosted,
-                        plan,
-                        shm_names,
-                        self._tile_shapes,
-                        cdtype.name,
-                        self._channels,
-                        self._controls[w],
-                        self._results,
-                        self._timeout,
-                    ),
-                    daemon=True,
-                    name=f"repro-rank-worker-{w}",
+                self._channels = CommChannels(
+                    inboxes=[ctx.Queue() for _ in range(self._n_ranks)],
+                    gather=ctx.Queue(),
+                    bcast=[ctx.Queue() for _ in range(n_workers)],
+                    barrier=ctx.Barrier(n_workers),
+                    n_workers=n_workers,
                 )
-                proc.start()
-                self._procs.append(proc)
+                self._controls = [ctx.Queue() for _ in range(n_workers)]
+                self._results = ctx.Queue()
+
+                for w, hosted in enumerate(self._blocks):
+                    proc = ctx.Process(
+                        target=_worker_main,
+                        args=(
+                            w,
+                            hosted,
+                            plan,
+                            shm_names,
+                            self._tile_shapes,
+                            cdtype.name,
+                            self._channels,
+                            self._controls[w],
+                            self._results,
+                            self._timeout,
+                        ),
+                        daemon=True,
+                        name=f"repro-rank-worker-{w}",
+                    )
+                    proc.start()
+                    self._procs.append(proc)
 
             self._snapshots: List[CounterSnapshot] = [
                 CounterSnapshot() for _ in range(n_workers)
@@ -412,15 +441,16 @@ class _ProcessSession(ExecutionSession):
         # Drop our views before releasing the mappings; a view leaked to
         # user code merely keeps its mapping alive until collected.
         self._vol_views = None
-        for seg in self._segments:
-            try:
-                seg.close()
-            except BufferError:  # pragma: no cover - leaked view
-                pass
-            try:
-                seg.unlink()
-            except FileNotFoundError:  # pragma: no cover
-                pass
+        with _TRACKER_LOCK:
+            for seg in self._segments:
+                try:
+                    seg.close()
+                except BufferError:  # pragma: no cover - leaked view
+                    pass
+                try:
+                    seg.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
         self._segments = []
 
     def __del__(self) -> None:  # pragma: no cover - safety net

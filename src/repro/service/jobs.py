@@ -1,0 +1,357 @@
+"""Filesystem-backed job records: the service's durable state.
+
+One directory per job under ``<root>/jobs/<job_id>/``::
+
+    job.json          the JobRecord (atomic tmp+rename writes)
+    dataset.npz       the acquisition, when submitted in-memory
+                      (path submissions reference the original file)
+    checkpoints/      periodic + interrupt checkpoints of the active leg
+    seed.npz          consolidated resume seed (volume/probe/config)
+    result.npz        the final merged archive, once DONE
+    progress.json     latest ProgressUpdate mirror (cross-process poll)
+    control.json      pending cancel/pause request (cross-process)
+
+Everything an observer of the job directory needs survives process
+restarts: a ``serve`` process that crashes mid-run is recovered from
+``job.json`` + the newest checkpoint by the next ``serve``; a ``submit``
+with no server running is picked up whenever one starts.
+
+**Leg accounting.**  A job runs as one or more *legs* (initial run, then
+one per resume).  Checkpoints snapshot leg-local counters (history from
+leg start, leg traffic), so the record banks the completed legs'
+contribution in its ``carry_*`` fields; :func:`consolidate_from_archive`
+folds a checkpoint into the carry and installs it as the next leg's
+seed.  Cost history and message counters are exactly additive across
+legs (per-iteration traffic is constant), which is what makes a
+cancel→resume job's final archive fingerprint-identical to an
+uninterrupted run for the exactly-resumable solvers (gd
+``mode="synchronous"``, hve, serial).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import time
+import uuid
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.api.config import ReconstructionConfig
+
+__all__ = [
+    "JobState",
+    "JobRecord",
+    "JobError",
+    "job_dir",
+    "list_job_ids",
+    "load_record",
+    "save_record",
+    "create_job",
+    "request_control",
+    "read_control",
+    "clear_control",
+    "consolidate_from_archive",
+    "latest_checkpoint",
+    "prepare_resume",
+]
+
+
+class JobError(RuntimeError):
+    """A job-layer failure (missing job, illegal state transition, ...)."""
+
+
+class JobState:
+    """The job lifecycle (plain strings — they live in JSON).
+
+    ``QUEUED → RUNNING → DONE | FAILED | CANCELLED | PAUSED``;
+    ``PAUSED``/``CANCELLED``/``FAILED`` may transition back to
+    ``QUEUED`` via resume (seeded from the consolidated checkpoint).
+    """
+
+    QUEUED = "QUEUED"
+    RUNNING = "RUNNING"
+    PAUSED = "PAUSED"
+    DONE = "DONE"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+
+    ALL = (QUEUED, RUNNING, PAUSED, DONE, FAILED, CANCELLED)
+    #: States a worker is no longer driving.
+    SETTLED = (PAUSED, DONE, FAILED, CANCELLED)
+    #: States resume() may requeue from.
+    RESUMABLE = (PAUSED, FAILED, CANCELLED)
+
+
+@dataclass
+class JobRecord:
+    """The durable description of one submitted reconstruction job."""
+
+    job_id: str
+    config: Dict[str, Any]
+    dataset_path: str
+    priority: int = 0
+    state: str = JobState.QUEUED
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    #: Total iterations the job must run (across all legs).
+    iterations_total: int = 0
+    #: Banked contribution of completed legs (see module docstring).
+    carry_history: List[float] = field(default_factory=list)
+    carry_messages: int = 0
+    carry_message_bytes: int = 0
+    carry_peaks: List[int] = field(default_factory=list)
+    #: Resume seed archive (path relative to the job dir), if any.
+    seed: Optional[str] = None
+    #: Completed resume cycles.
+    resumes: int = 0
+
+    @property
+    def iterations_done(self) -> int:
+        return len(self.carry_history)
+
+    def reconstruction_config(self) -> ReconstructionConfig:
+        """The submitted config as a live object."""
+        return ReconstructionConfig.from_dict(self.config)
+
+
+# ----------------------------------------------------------------------
+# Paths + (de)serialization
+# ----------------------------------------------------------------------
+def job_dir(root: Union[str, Path], job_id: str) -> Path:
+    return Path(root) / "jobs" / job_id
+
+
+def list_job_ids(root: Union[str, Path]) -> List[str]:
+    """Every job id under ``root``, submission-ordered (by record time)."""
+    jobs = Path(root) / "jobs"
+    if not jobs.is_dir():
+        return []
+    ids = [p.name for p in jobs.iterdir() if (p / "job.json").is_file()]
+    return sorted(
+        ids, key=lambda jid: (load_record(root, jid).submitted_at, jid)
+    )
+
+
+def load_record(root: Union[str, Path], job_id: str) -> JobRecord:
+    path = job_dir(root, job_id) / "job.json"
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise JobError(f"no job {job_id!r} under {root} ({exc})") from None
+    return JobRecord(**payload)
+
+
+def save_record(root: Union[str, Path], record: JobRecord) -> None:
+    """Atomic write (tmp+rename): readers in other processes never see a
+    torn record, and a crash mid-write leaves the previous version."""
+    directory = job_dir(root, record.job_id)
+    directory.mkdir(parents=True, exist_ok=True)
+    tmp = directory / "job.json.tmp"
+    tmp.write_text(json.dumps(asdict(record), indent=2) + "\n")
+    os.replace(tmp, directory / "job.json")
+
+
+# ----------------------------------------------------------------------
+# Submission
+# ----------------------------------------------------------------------
+def create_job(
+    root: Union[str, Path],
+    dataset: Union[str, Path, "object"],
+    config: Union[ReconstructionConfig, Dict[str, Any]],
+    priority: int = 0,
+    job_id: Optional[str] = None,
+) -> JobRecord:
+    """Create a job directory + record (no server required).
+
+    ``dataset`` is either the path of a saved acquisition archive
+    (referenced in place) or an in-memory
+    :class:`~repro.physics.dataset.PtychoDataset` (saved into the job
+    directory so the job survives the submitting process).
+    """
+    if not isinstance(config, ReconstructionConfig):
+        config = ReconstructionConfig.from_dict(config)
+    iterations = config.solver_params.get("iterations")
+    if not isinstance(iterations, int) or iterations <= 0:
+        raise JobError(
+            "service jobs must pin solver_params['iterations'] to a "
+            "positive int (the job layer tracks progress against it)"
+        )
+    if config.run_params.get("resume") is not None:
+        raise JobError(
+            "service jobs manage resume themselves; submit a config "
+            "without run_params['resume'] and use the service's "
+            "cancel/resume lifecycle instead"
+        )
+    job_id = job_id or uuid.uuid4().hex[:12]
+    directory = job_dir(root, job_id)
+    if (directory / "job.json").exists():
+        raise JobError(f"job {job_id!r} already exists under {root}")
+
+    if isinstance(dataset, (str, Path)):
+        dataset_path = str(Path(dataset).resolve())
+        if not Path(dataset_path).is_file():
+            raise JobError(f"dataset archive not found: {dataset_path}")
+    else:
+        from repro.io.storage import save_dataset
+
+        directory.mkdir(parents=True, exist_ok=True)
+        save_dataset(directory / "dataset.npz", dataset)
+        dataset_path = "dataset.npz"
+
+    record = JobRecord(
+        job_id=job_id,
+        config=config.to_dict(),
+        dataset_path=dataset_path,
+        priority=int(priority),
+        submitted_at=time.time(),
+        iterations_total=iterations,
+    )
+    save_record(root, record)
+    return record
+
+
+def dataset_path_of(root: Union[str, Path], record: JobRecord) -> Path:
+    """Absolute path of the job's acquisition archive."""
+    path = Path(record.dataset_path)
+    if not path.is_absolute():
+        path = job_dir(root, record.job_id) / path
+    return path
+
+
+# ----------------------------------------------------------------------
+# Cross-process control (cancel/pause requests)
+# ----------------------------------------------------------------------
+def _control_path(root: Union[str, Path], job_id: str) -> Path:
+    return job_dir(root, job_id) / "control.json"
+
+
+def request_control(
+    root: Union[str, Path],
+    job_id: str,
+    action: str,
+    at_iteration: Optional[int] = None,
+) -> None:
+    """Ask the job to stop: ``action`` is ``"cancel"`` or ``"pause"``.
+
+    ``at_iteration`` defers the stop until that many *global* iterations
+    have completed (``None`` = at the next iteration boundary).  Written
+    as a flag file so it works from any process; a running leg's
+    controller observer reads it at every iteration boundary.
+    """
+    if action not in ("cancel", "pause"):
+        raise ValueError(f"action must be 'cancel' or 'pause', got {action!r}")
+    load_record(root, job_id)  # existence check with a clear error
+    payload = {"action": action, "at_iteration": at_iteration}
+    path = _control_path(root, job_id)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload) + "\n")
+    os.replace(tmp, path)
+
+
+def read_control(
+    root: Union[str, Path], job_id: str
+) -> Optional[Dict[str, Any]]:
+    try:
+        return json.loads(_control_path(root, job_id).read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def clear_control(root: Union[str, Path], job_id: str) -> None:
+    _control_path(root, job_id).unlink(missing_ok=True)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint consolidation + resume
+# ----------------------------------------------------------------------
+def checkpoints_dir(root: Union[str, Path], job_id: str) -> Path:
+    return job_dir(root, job_id) / "checkpoints"
+
+
+def latest_checkpoint(root: Union[str, Path], job_id: str) -> Optional[Path]:
+    """Newest checkpoint archive of the active leg (by the iteration
+    number encoded in the filename), or None."""
+    directory = checkpoints_dir(root, job_id)
+    if not directory.is_dir():
+        return None
+
+    def leg_iteration(path: Path) -> int:
+        match = re.search(r"iter(\d+)", path.stem)
+        return int(match.group(1)) if match else -1
+
+    candidates = sorted(
+        directory.glob("*.npz"), key=lambda p: (leg_iteration(p), p.name)
+    )
+    return candidates[-1] if candidates else None
+
+
+def consolidate_from_archive(
+    root: Union[str, Path], record: JobRecord, archive_path: Path
+) -> None:
+    """Fold a leg checkpoint into the record's carry and install it as
+    the next leg's seed.
+
+    The checkpoint's history/counters are leg-local, so the fold is a
+    plain append/add; peak memory is a high-water mark, so it merges
+    elementwise-max.  The archive is moved to ``seed.npz`` and the
+    leg's other checkpoints are dropped (their iteration numbering is
+    leg-local and would collide with the next leg's).
+    """
+    from repro.io.storage import load_result
+
+    snap = load_result(archive_path)
+    record.carry_history = record.carry_history + list(snap.history)
+    record.carry_messages += int(snap.messages)
+    record.carry_message_bytes += int(snap.message_bytes)
+    peaks = [int(p) for p in snap.peak_memory_per_rank]
+    if record.carry_peaks:
+        record.carry_peaks = [
+            max(a, b) for a, b in zip(record.carry_peaks, peaks)
+        ]
+    else:
+        record.carry_peaks = peaks
+    directory = job_dir(root, record.job_id)
+    seed = directory / "seed.npz"
+    os.replace(archive_path, seed)
+    shutil.rmtree(checkpoints_dir(root, record.job_id), ignore_errors=True)
+    record.seed = "seed.npz"
+
+
+def prepare_resume(root: Union[str, Path], job_id: str) -> JobRecord:
+    """Requeue a settled job (offline — no server required).
+
+    ``PAUSED``/``CANCELLED`` jobs were consolidated by the worker that
+    stopped them; a ``FAILED``/crashed job may still have un-folded leg
+    checkpoints, so the newest one is consolidated here.  The record
+    comes back ``QUEUED`` with its seed installed; a running ``serve``
+    picks it up at its next recovery scan (or immediately when resumed
+    through :meth:`ReconstructionService.resume`).
+    """
+    record = load_record(root, job_id)
+    if record.state not in JobState.RESUMABLE:
+        raise JobError(
+            f"job {job_id!r} is {record.state}; only "
+            f"{'/'.join(JobState.RESUMABLE)} jobs can be resumed"
+        )
+    if record.iterations_done >= record.iterations_total:
+        raise JobError(
+            f"job {job_id!r} already banked all "
+            f"{record.iterations_total} iterations"
+        )
+    stale = latest_checkpoint(root, job_id)
+    if stale is not None:
+        # A crash (or failure) left leg checkpoints the stopping worker
+        # never folded — bank the newest, drop the rest.
+        consolidate_from_archive(root, record, stale)
+    clear_control(root, job_id)
+    record.state = JobState.QUEUED
+    record.error = None
+    record.resumes += 1
+    save_record(root, record)
+    return record

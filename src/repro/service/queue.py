@@ -1,0 +1,116 @@
+"""Priority + FIFO-fairness job queue for the reconstruction service.
+
+The scheduling rule is deliberately simple and fully deterministic:
+
+* the dequeued entry is the one with the highest **effective priority**,
+  ties broken by submission order (FIFO);
+* effective priority = submitted priority + ``passed_over // age_after``
+  — every time an entry that arrived *earlier* than the winner is
+  skipped, its ``passed_over`` count rises, so after ``age_after`` skips
+  it gains one priority level.  A low-priority job therefore catches up
+  with any finite stream of high-priority arrivals: no starvation,
+  without timestamps (which would make scheduling order depend on
+  wall-clock races between workers).
+
+The queue stores opaque items (the service enqueues job ids); it knows
+nothing about job records or states.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+__all__ = ["JobQueue", "QueueClosedError"]
+
+
+class QueueClosedError(RuntimeError):
+    """put() after close() — the service is shutting down."""
+
+
+@dataclass
+class _Entry:
+    priority: int
+    seq: int
+    item: Any
+    #: Times this entry was skipped in favour of a later arrival.
+    passed_over: int = field(default=0)
+
+    def effective_priority(self, age_after: int) -> int:
+        return self.priority + self.passed_over // age_after
+
+
+class JobQueue:
+    """Thread-safe priority queue with aging-based FIFO fairness.
+
+    Parameters
+    ----------
+    age_after:
+        Number of times an entry may be passed over before it gains one
+        effective-priority level (smaller = fairer, larger = stricter
+        priority ordering).
+    """
+
+    def __init__(self, age_after: int = 4) -> None:
+        if age_after <= 0:
+            raise ValueError("age_after must be positive")
+        self.age_after = age_after
+        self._cond = threading.Condition()
+        self._entries: List[_Entry] = []
+        self._seq = 0
+        self._closed = False
+
+    def put(self, item: Any, priority: int = 0) -> None:
+        """Enqueue ``item`` at ``priority`` (higher dequeues first)."""
+        with self._cond:
+            if self._closed:
+                raise QueueClosedError("queue is closed")
+            self._entries.append(_Entry(int(priority), self._seq, item))
+            self._seq += 1
+            self._cond.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Dequeue the best entry, blocking up to ``timeout`` seconds.
+
+        Returns ``None`` on timeout or once the queue is closed *and*
+        empty (a closed queue still drains — jobs accepted before
+        shutdown run to completion).
+        """
+        with self._cond:
+            while not self._entries:
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+            best = self._entries[0]
+            for entry in self._entries[1:]:
+                if entry.effective_priority(self.age_after) > \
+                        best.effective_priority(self.age_after):
+                    best = entry
+            self._entries.remove(best)
+            # Everything that arrived before the winner was just skipped
+            # — age it so a steady high-priority stream cannot starve it.
+            for entry in self._entries:
+                if entry.seq < best.seq:
+                    entry.passed_over += 1
+            return best.item
+
+    def close(self) -> None:
+        """Refuse new entries and wake blocked getters; idempotent."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._entries)
+
+    def snapshot(self) -> List[Any]:
+        """Queued items in current dequeue order (for status listings)."""
+        with self._cond:
+            entries = sorted(
+                self._entries,
+                key=lambda e: (-e.effective_priority(self.age_after), e.seq),
+            )
+            return [e.item for e in entries]

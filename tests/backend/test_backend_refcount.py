@@ -1,0 +1,144 @@
+"""Refcounted backend leases: ``acquire_backend``/``release_backend``
+pairs let concurrent jobs share one cached instance without one job's
+completion closing the plan cache another job is mid-transform on."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    acquire_backend,
+    backend_refcount,
+    get_backend,
+    release_backend,
+    shutdown_backends,
+)
+from repro.backend.base import UnknownBackendError
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    shutdown_backends()
+    yield
+    shutdown_backends()
+
+
+class TestLeases:
+    def test_acquire_returns_cached_instance(self):
+        backend = acquire_backend("threaded")
+        try:
+            assert backend is get_backend("threaded")
+            assert backend_refcount("threaded") == 1
+        finally:
+            release_backend("threaded")
+
+    def test_release_of_last_lease_closes(self):
+        backend = acquire_backend("threaded")
+        release_backend("threaded")
+        assert backend.closed
+        assert backend_refcount("threaded") == 0
+
+    def test_inner_release_keeps_instance_open(self):
+        backend = acquire_backend("threaded")
+        assert acquire_backend("threaded") is backend
+        assert backend_refcount("threaded") == 2
+        release_backend("threaded")  # one job done...
+        assert not backend.closed  # ...the other still owns a lease
+        backend.fft2(np.ones((4, 4), dtype=np.complex128))
+        release_backend("threaded")
+        assert backend.closed
+
+    def test_legacy_release_without_lease_closes_immediately(self):
+        # Pre-lease callers (use_backend cleanup) rely on this.
+        backend = get_backend("threaded")
+        backend.fft2(np.ones((4, 4), dtype=np.complex128))
+        release_backend("threaded")
+        assert backend.closed
+
+    def test_release_unknown_backend_raises(self):
+        with pytest.raises(UnknownBackendError):
+            release_backend("no-such-backend")
+
+    def test_refcount_listing_only_shows_active(self):
+        assert backend_refcount() == {}
+        acquire_backend("numpy")
+        try:
+            assert backend_refcount() == {"numpy": 1}
+        finally:
+            release_backend("numpy")
+        assert backend_refcount() == {}
+
+    def test_shutdown_voids_stale_leases(self):
+        # shutdown_backends is the big hammer; a later acquire starts a
+        # fresh instance with a fresh count, not a stale one.
+        acquire_backend("threaded")
+        shutdown_backends()
+        assert backend_refcount("threaded") == 0
+        backend = acquire_backend("threaded")
+        try:
+            assert not backend.closed
+            assert backend_refcount("threaded") == 1
+        finally:
+            release_backend("threaded")
+
+
+class TestConcurrency:
+    def test_concurrent_lease_cycles_never_hit_closed_plans(self):
+        # N threads acquire, transform, release in a loop — the raced
+        # interleaving that used to close a plan cache under a job
+        # still using it.  With refcounts every transform must succeed.
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def job(seed):
+            data = np.full((8, 8), seed + 1, dtype=np.complex128)
+            barrier.wait()
+            try:
+                for _ in range(25):
+                    acquire_backend("threaded")
+                    try:
+                        backend = get_backend("threaded")
+                        out = backend.ifft2(backend.fft2(data))
+                        np.testing.assert_allclose(out, data, atol=1e-9)
+                    finally:
+                        release_backend("threaded")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=job, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        assert backend_refcount() == {}
+
+    def test_concurrent_plan_cache_access_is_safe(self):
+        # Many threads sharing one leased instance stress the plan
+        # cache's internal lock (lookup/create/evict under contention).
+        backend = acquire_backend("threaded")
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def worker(tid):
+            barrier.wait()
+            try:
+                for n in range(2, 12):
+                    data = np.ones((n, n), dtype=np.complex128)
+                    backend.fft2(data)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        release_backend("threaded")
+        assert errors == []
+        assert backend.closed

@@ -1,0 +1,26 @@
+"""Shared fixture for the service suite: a service factory that always
+joins its worker threads at teardown."""
+
+from __future__ import annotations
+
+import contextlib
+
+import pytest
+
+from repro.service import ReconstructionService
+
+
+@pytest.fixture()
+def service_factory(tmp_path):
+    """Build services over per-test roots; close them all at teardown."""
+    stack = contextlib.ExitStack()
+    counter = iter(range(1000))
+
+    def make(workers=2, root=None, **kwargs):
+        root = root or tmp_path / f"svc{next(counter)}"
+        return stack.enter_context(
+            ReconstructionService(root, workers=workers, **kwargs)
+        )
+
+    yield make
+    stack.close()

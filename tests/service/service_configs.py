@@ -1,0 +1,15 @@
+"""Tiny job configs shared across the service suite."""
+
+from repro.api import ReconstructionConfig
+
+
+def gd_config(lr, iterations=6, mode="synchronous", **extra):
+    params = {"n_ranks": 4, "iterations": iterations, "lr": lr, "mode": mode}
+    params.update(extra)
+    return ReconstructionConfig(solver="gd", solver_params=params)
+
+
+def hve_config(lr, iterations=6, **extra):
+    params = {"n_ranks": 4, "iterations": iterations, "lr": lr}
+    params.update(extra)
+    return ReconstructionConfig(solver="hve", solver_params=params)

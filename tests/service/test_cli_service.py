@@ -1,0 +1,159 @@
+"""The serve/submit/jobs CLI against a filesystem job root — the
+cross-process workflow: state lives in the job directory, so every
+subcommand works with or without a live server."""
+
+import numpy as np
+import pytest
+
+from repro import reconstruct
+from repro.cli import main
+from repro.io import save_dataset
+from repro.io.storage import load_result
+from repro.service import JobState, load_record
+
+from tests.helpers import result_fingerprint
+from tests.service.service_configs import gd_config, hve_config
+
+
+@pytest.fixture()
+def workspace(tmp_path, tiny_dataset, tiny_lr):
+    """A dataset archive, two config files, and a job root path."""
+    dataset = tmp_path / "ds.npz"
+    save_dataset(dataset, tiny_dataset)
+    gd_json = tmp_path / "gd.json"
+    gd_json.write_text(gd_config(tiny_lr, iterations=4).to_json())
+    hve_json = tmp_path / "hve.json"
+    hve_json.write_text(hve_config(tiny_lr, iterations=4).to_json())
+    return {
+        "root": str(tmp_path / "jobs"),
+        "dataset": str(dataset),
+        "gd": str(gd_json),
+        "hve": str(hve_json),
+    }
+
+
+def submit(ws, config_key, job_id, *extra):
+    return main([
+        "submit", "--root", ws["root"], "--dataset", ws["dataset"],
+        "--config", ws[config_key], "--job-id", job_id, *extra,
+    ])
+
+
+class TestSubmitServe:
+    def test_submit_then_drain_completes_job(
+        self, workspace, tiny_dataset, tiny_lr, capsys
+    ):
+        assert submit(workspace, "gd", "one") == 0
+        assert "submitted one" in capsys.readouterr().out
+        assert main(["serve", "--root", workspace["root"],
+                     "--workers", "1", "--drain"]) == 0
+        out = capsys.readouterr().out
+        assert "1 job(s) recovered" in out
+        assert "1 done" in out
+        record = load_record(workspace["root"], "one")
+        assert record.state == JobState.DONE
+        archive = load_result(
+            f"{workspace['root']}/jobs/one/result.npz"
+        )
+        direct = reconstruct(tiny_dataset, gd_config(tiny_lr, iterations=4))
+        assert result_fingerprint(archive) == result_fingerprint(direct)
+
+    def test_two_jobs_drain_together(self, workspace, capsys):
+        assert submit(workspace, "gd", "a") == 0
+        assert submit(workspace, "hve", "b", "--priority", "1") == 0
+        assert main(["serve", "--root", workspace["root"],
+                     "--workers", "2", "--drain"]) == 0
+        assert load_record(workspace["root"], "a").state == JobState.DONE
+        assert load_record(workspace["root"], "b").state == JobState.DONE
+
+    def test_submit_missing_config_fails(self, workspace, capsys):
+        rc = main(["submit", "--root", workspace["root"],
+                   "--dataset", workspace["dataset"],
+                   "--config", "nope.json"])
+        assert rc == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_submit_config_without_iterations_fails(
+        self, workspace, tmp_path, capsys
+    ):
+        from repro.api import ReconstructionConfig
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(ReconstructionConfig(
+            solver="gd", solver_params={"n_ranks": 4, "lr": 0.01}
+        ).to_json())
+        rc = main(["submit", "--root", workspace["root"],
+                   "--dataset", workspace["dataset"], "--config", str(bad)])
+        assert rc == 2
+        assert "iterations" in capsys.readouterr().err
+
+
+class TestJobsCommand:
+    def test_list_empty_root(self, workspace, capsys):
+        assert main(["jobs", "--root", workspace["root"]]) == 0
+        assert "no jobs" in capsys.readouterr().out
+
+    def test_list_shows_states(self, workspace, capsys):
+        submit(workspace, "gd", "listed")
+        capsys.readouterr()
+        assert main(["jobs", "--root", workspace["root"]]) == 0
+        out = capsys.readouterr().out
+        assert "listed" in out
+        assert "QUEUED" in out
+
+    def test_cancel_resume_roundtrip_matches_direct_run(
+        self, workspace, tiny_dataset, tiny_lr, capsys
+    ):
+        # The CI scenario end to end, in process: pre-armed cancel,
+        # drain (job stops at 2), resume, drain again, final archive
+        # bit-identical to the uninterrupted run.
+        submit(workspace, "gd", "roundtrip")
+        assert main(["jobs", "--root", workspace["root"],
+                     "--cancel", "roundtrip", "--at-iteration", "2"]) == 0
+        assert main(["serve", "--root", workspace["root"],
+                     "--workers", "1", "--drain"]) == 0
+        record = load_record(workspace["root"], "roundtrip")
+        assert record.state == JobState.CANCELLED
+        assert record.iterations_done == 2
+        assert main(["jobs", "--root", workspace["root"],
+                     "--resume", "roundtrip"]) == 0
+        assert main(["serve", "--root", workspace["root"],
+                     "--workers", "1", "--drain"]) == 0
+        assert load_record(
+            workspace["root"], "roundtrip"
+        ).state == JobState.DONE
+        archive = load_result(
+            f"{workspace['root']}/jobs/roundtrip/result.npz"
+        )
+        direct = reconstruct(tiny_dataset, gd_config(tiny_lr, iterations=4))
+        assert result_fingerprint(archive) == result_fingerprint(direct)
+
+    def test_pause_lands_paused(self, workspace, capsys):
+        submit(workspace, "gd", "held")
+        assert main(["jobs", "--root", workspace["root"],
+                     "--pause", "held", "--at-iteration", "2"]) == 0
+        assert main(["serve", "--root", workspace["root"],
+                     "--workers", "1", "--drain"]) == 0
+        assert load_record(
+            workspace["root"], "held"
+        ).state == JobState.PAUSED
+
+    def test_cancel_unknown_job_fails(self, workspace, capsys):
+        rc = main(["jobs", "--root", workspace["root"], "--cancel", "ghost"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_resume_unknown_job_fails(self, workspace, capsys):
+        rc = main(["jobs", "--root", workspace["root"], "--resume", "ghost"])
+        assert rc == 2
+
+    def test_at_iteration_requires_cancel_or_pause(self, workspace, capsys):
+        rc = main(["jobs", "--root", workspace["root"],
+                   "--at-iteration", "2"])
+        assert rc == 2
+        assert "--at-iteration" in capsys.readouterr().err
+
+    def test_conflicting_actions_rejected(self, workspace, capsys):
+        rc = main(["jobs", "--root", workspace["root"],
+                   "--cancel", "a", "--resume", "b"])
+        assert rc == 2

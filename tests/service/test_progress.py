@@ -1,0 +1,103 @@
+"""ProgressStream: global iteration counting, polling, subscription,
+and the cross-process JSON mirror."""
+
+import threading
+
+from repro.core.observers import IterationEvent
+from repro.service import ProgressStream, read_progress
+
+
+def event(iteration, cost=1.0, elapsed=1.0):
+    return IterationEvent(
+        solver="gd",
+        iteration=iteration,
+        n_iterations=10,
+        cost=cost,
+        elapsed_s=elapsed,
+        messages=0,
+        message_bytes=0,
+        peak_memory_bytes=0.0,
+        snapshot=lambda: None,
+    )
+
+
+class TestUpdates:
+    def test_counts_iterations_globally(self):
+        stream = ProgressStream("job", total=10, offset=4)
+        stream(event(0))
+        update = stream.poll()
+        assert update.iteration == 5  # 4 banked + leg iteration 1
+        assert update.total == 10
+        assert update.fraction == 0.5
+
+    def test_poll_before_first_iteration_is_none(self):
+        assert ProgressStream("job", total=3).poll() is None
+
+    def test_rate_and_eta(self):
+        stream = ProgressStream("job", total=10)
+        stream(event(1, elapsed=4.0))  # 2 leg iterations in 4s
+        update = stream.poll()
+        assert update.iter_per_s == 0.5
+        assert update.eta_s == 8 / 0.5
+
+    def test_eta_inf_when_no_elapsed(self):
+        stream = ProgressStream("job", total=3)
+        stream(event(0, elapsed=0.0))
+        assert stream.poll().eta_s == float("inf")
+
+    def test_history_accumulates(self):
+        stream = ProgressStream("job", total=3)
+        for it in range(3):
+            stream(event(it, cost=float(it)))
+        costs = [u.cost for u in stream.history()]
+        assert costs == [0.0, 1.0, 2.0]
+
+
+class TestSubscribe:
+    def test_subscriber_sees_every_update_then_ends_on_close(self):
+        stream = ProgressStream("job", total=3)
+        seen = []
+
+        def client():
+            for update in stream.subscribe():
+                seen.append(update.iteration)
+
+        thread = threading.Thread(target=client)
+        thread.start()
+        for it in range(3):
+            stream(event(it))
+        stream.close()
+        thread.join(timeout=5.0)
+        assert seen == [1, 2, 3]
+
+    def test_subscriber_timeout_ends_stalled_stream(self):
+        stream = ProgressStream("job", total=3)
+        stream(event(0))
+        seen = [u.iteration for u in stream.subscribe(timeout=0.01)]
+        assert seen == [1]  # drained the buffer, then timed out
+
+
+class TestMirror:
+    def test_mirror_roundtrips_through_read_progress(self, tmp_path):
+        path = tmp_path / "progress.json"
+        stream = ProgressStream("job7", total=4, mirror_path=path)
+        stream(event(1, cost=0.25, elapsed=2.0))
+        update = read_progress(path)
+        assert update.job_id == "job7"
+        assert update.iteration == 2
+        assert update.cost == 0.25
+
+    def test_mirror_spells_inf_eta_as_null(self, tmp_path):
+        path = tmp_path / "progress.json"
+        stream = ProgressStream("job", total=4, mirror_path=path)
+        stream(event(0, elapsed=0.0))
+        assert "Infinity" not in path.read_text()
+        assert read_progress(path).eta_s == float("inf")
+
+    def test_read_progress_missing_file_is_none(self, tmp_path):
+        assert read_progress(tmp_path / "nope.json") is None
+
+    def test_read_progress_torn_file_is_none(self, tmp_path):
+        path = tmp_path / "progress.json"
+        path.write_text("{not json")
+        assert read_progress(path) is None

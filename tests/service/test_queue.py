@@ -1,0 +1,115 @@
+"""JobQueue: deterministic priority scheduling with aging fairness."""
+
+import threading
+
+import pytest
+
+from repro.service import JobQueue, QueueClosedError
+
+
+def drain(queue):
+    items = []
+    while len(queue):
+        items.append(queue.get(timeout=0))
+    return items
+
+
+class TestOrdering:
+    def test_fifo_at_equal_priority(self):
+        q = JobQueue()
+        for item in "abc":
+            q.put(item)
+        assert drain(q) == ["a", "b", "c"]
+
+    def test_higher_priority_first(self):
+        q = JobQueue()
+        q.put("low", priority=0)
+        q.put("high", priority=5)
+        q.put("mid", priority=2)
+        assert drain(q) == ["high", "mid", "low"]
+
+    def test_tie_breaks_by_submission_order(self):
+        q = JobQueue()
+        q.put("first", priority=3)
+        q.put("second", priority=3)
+        assert drain(q) == ["first", "second"]
+
+    def test_snapshot_matches_dequeue_order(self):
+        q = JobQueue()
+        q.put("low", priority=0)
+        q.put("high", priority=1)
+        q.put("low2", priority=0)
+        assert q.snapshot() == ["high", "low", "low2"]
+        assert drain(q) == ["high", "low", "low2"]
+
+
+class TestAging:
+    def test_passed_over_entry_gains_priority(self):
+        # age_after=1: one skip lifts the early entry a full level, so
+        # it beats the priority-1 stream on the second dequeue.
+        q = JobQueue(age_after=1)
+        q.put("old", priority=0)
+        q.put("new1", priority=1)
+        q.put("new2", priority=1)
+        assert q.get(timeout=0) == "new1"  # old is passed over -> ages
+        assert q.get(timeout=0) == "old"
+        assert q.get(timeout=0) == "new2"
+
+    def test_no_starvation_under_priority_stream(self):
+        # A priority-0 job against a steady stream of priority-1
+        # arrivals must still dequeue in bounded time.
+        q = JobQueue(age_after=2)
+        q.put("starved", priority=0)
+        order = []
+        for i in range(8):
+            q.put(f"hi{i}", priority=1)
+            order.append(q.get(timeout=0))
+        assert "starved" in order
+
+    def test_age_after_must_be_positive(self):
+        with pytest.raises(ValueError):
+            JobQueue(age_after=0)
+
+
+class TestLifecycle:
+    def test_get_timeout_returns_none(self):
+        q = JobQueue()
+        assert q.get(timeout=0.01) is None
+
+    def test_put_after_close_raises(self):
+        q = JobQueue()
+        q.close()
+        with pytest.raises(QueueClosedError):
+            q.put("x")
+
+    def test_closed_queue_still_drains(self):
+        q = JobQueue()
+        q.put("a")
+        q.put("b")
+        q.close()
+        assert q.get(timeout=0) == "a"
+        assert q.get(timeout=0) == "b"
+        assert q.get(timeout=0) is None
+
+    def test_close_wakes_blocked_getter(self):
+        q = JobQueue()
+        seen = []
+        thread = threading.Thread(
+            target=lambda: seen.append(q.get(timeout=10.0))
+        )
+        thread.start()
+        q.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert seen == [None]
+
+    def test_put_wakes_blocked_getter(self):
+        q = JobQueue()
+        seen = []
+        thread = threading.Thread(
+            target=lambda: seen.append(q.get(timeout=10.0))
+        )
+        thread.start()
+        q.put("payload")
+        thread.join(timeout=5.0)
+        assert seen == ["payload"]
