@@ -275,7 +275,11 @@ class ReconstructionConfig:
         executor/store/batching knobs, all of which are
         fingerprint-identical by construction.  Ambient ``None``
         backend/dtype fields resolve at call time, so a config that
-        spells ``"numpy"`` explicitly matches one that inherits it.
+        spells ``"numpy"`` explicitly matches one that inherits it —
+        which also means an ambient config's fingerprint *floats* with
+        the process default.  Writers of durable archives should pin
+        the resolved names first (``with_compute``), as the service
+        does, so the archived fingerprint records what actually ran.
 
         This is what resume validation compares: a checkpoint archived
         under one fingerprint refuses to seed a run with another (see

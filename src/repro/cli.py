@@ -508,7 +508,7 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.service import ReconstructionService
+    from repro.service import JobError, ReconstructionService
 
     try:
         service = ReconstructionService(
@@ -516,7 +516,8 @@ def _cmd_serve(args) -> int:
             workers=args.workers,
             checkpoint_every=args.checkpoint_every,
         )
-    except ValueError as exc:
+    except (ValueError, JobError) as exc:
+        # JobError here means another service holds <root>/serve.lock.
         print(f"serve: error: {exc}", file=sys.stderr)
         return 2
     stats = service.stats()

@@ -11,10 +11,16 @@ One directory per job under ``<root>/jobs/<job_id>/``::
     progress.json     latest ProgressUpdate mirror (cross-process poll)
     control.json      pending cancel/pause request (cross-process)
 
+The root itself holds one extra file, ``serve.lock`` — the exclusive
+``flock`` a live service owns for its lifetime (one service per root;
+see :class:`~repro.service.service.ReconstructionService`).
+
 Everything an observer of the job directory needs survives process
 restarts: a ``serve`` process that crashes mid-run is recovered from
-``job.json`` + the newest checkpoint by the next ``serve``; a ``submit``
-with no server running is picked up whenever one starts.
+``job.json`` + the newest checkpoint by the next ``serve`` (the dead
+process's lock is released by the OS, so the successor takes over
+without manual cleanup); a ``submit`` with no server running is picked
+up whenever one starts.
 
 **Leg accounting.**  A job runs as one or more *legs* (initial run, then
 one per resume).  Checkpoints snapshot leg-local counters (history from

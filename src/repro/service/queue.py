@@ -60,6 +60,7 @@ class JobQueue:
         self._entries: List[_Entry] = []
         self._seq = 0
         self._closed = False
+        self._unfinished = 0
 
     def put(self, item: Any, priority: int = 0) -> None:
         """Enqueue ``item`` at ``priority`` (higher dequeues first)."""
@@ -76,6 +77,11 @@ class JobQueue:
         Returns ``None`` on timeout or once the queue is closed *and*
         empty (a closed queue still drains — jobs accepted before
         shutdown run to completion).
+
+        A returned item counts as :attr:`in_flight` until the caller
+        acknowledges it with :meth:`task_done` — so an observer summing
+        ``len(queue) + queue.in_flight`` never sees a dequeued-but-not-
+        yet-tracked item vanish.
         """
         with self._cond:
             while not self._entries:
@@ -94,7 +100,24 @@ class JobQueue:
             for entry in self._entries:
                 if entry.seq < best.seq:
                     entry.passed_over += 1
+            self._unfinished += 1
             return best.item
+
+    def task_done(self) -> None:
+        """Acknowledge one item returned by :meth:`get` (see there)."""
+        with self._cond:
+            if self._unfinished <= 0:
+                raise ValueError(
+                    "task_done() called more times than get() returned items"
+                )
+            self._unfinished -= 1
+            self._cond.notify_all()
+
+    @property
+    def in_flight(self) -> int:
+        """Items handed out by :meth:`get` and not yet acknowledged."""
+        with self._cond:
+            return self._unfinished
 
     def close(self) -> None:
         """Refuse new entries and wake blocked getters; idempotent."""

@@ -35,16 +35,28 @@ registry's ``acquire_backend``/``release_backend`` pair exists for.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import traceback
+from collections import deque
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Deque, Dict, List, Optional, Union
+
+try:  # POSIX only; on other platforms the root lock degrades to advisory.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
 
 from repro.api.config import ReconstructionConfig
 from repro.api.events import CheckpointPolicy
 from repro.api.reconstruct import reconstruct
-from repro.backend.base import acquire_backend, release_backend, resolve_backend
+from repro.backend.base import (
+    acquire_backend,
+    default_dtype_name,
+    release_backend,
+    resolve_backend,
+)
 from repro.core.observers import IterationEvent
 from repro.core.reconstructor import ReconstructionResult
 from repro.io.storage import ResultArchive, load_result, save_result
@@ -170,6 +182,17 @@ class ReconstructionService:
     poll_interval:
         Worker dequeue timeout — the latency bound on noticing
         shutdown; requests themselves are event-driven.
+    progress_cap:
+        How many *settled* jobs keep their in-memory
+        :class:`ProgressStream` (oldest evicted first).  Bounds a
+        long-lived service's memory; ``progress.json`` in the job
+        directory remains the durable record for evicted jobs.
+
+    The service takes an exclusive ``flock`` on ``<root>/serve.lock``
+    for its lifetime: exactly one service may drive a root at a time
+    (a second one would re-queue — and double-run — the first one's
+    live RUNNING jobs at its recovery scan).  Construction raises
+    :class:`JobError` while another service holds the root.
     """
 
     def __init__(
@@ -179,21 +202,28 @@ class ReconstructionService:
         checkpoint_every: Optional[int] = None,
         age_after: int = 4,
         poll_interval: float = 0.1,
+        progress_cap: int = 64,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
         if checkpoint_every is not None and checkpoint_every <= 0:
             raise ValueError("checkpoint_every must be positive")
+        if progress_cap < 0:
+            raise ValueError("progress_cap must be >= 0")
         self.root = Path(root)
         self.workers = workers
         self.checkpoint_every = checkpoint_every
         self.poll_interval = poll_interval
+        self.progress_cap = progress_cap
         (self.root / "jobs").mkdir(parents=True, exist_ok=True)
+        self._lock_file = None
+        self._acquire_root_lock()
 
         self._queue = JobQueue(age_after=age_after)
         self._cond = threading.Condition()
         self._requests: Dict[str, Dict] = {}
         self._progress: Dict[str, ProgressStream] = {}
+        self._settled_order: Deque[str] = deque()
         self._running: set = set()
         self._stats = {
             "submitted": 0, "recovered": 0, "done": 0,
@@ -314,10 +344,14 @@ class ReconstructionService:
         return load_result(jobstore.job_dir(self.root, job_id) / "result.npz")
 
     def drain(self, timeout: Optional[float] = None) -> bool:
-        """Block until no job is queued or running; True on success."""
+        """Block until no job is queued or running; True on success.
+
+        The check reads the three stages in the order a job moves
+        through them (queued → in-flight → running), so a job can
+        never slip between two reads unobserved."""
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
-            while len(self._queue) or self._running:
+            while len(self._queue) or self._queue.in_flight or self._running:
                 remaining = (
                     None if deadline is None
                     else deadline - time.monotonic()
@@ -333,6 +367,7 @@ class ReconstructionService:
         self._queue.close()
         for thread in self._threads:
             thread.join(timeout=timeout)
+        self._release_root_lock()
 
     def stats(self) -> Dict[str, int]:
         """Lifetime counters (submitted/recovered/done/failed/...)."""
@@ -344,6 +379,47 @@ class ReconstructionService:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # Root ownership
+    # ------------------------------------------------------------------
+    def _acquire_root_lock(self) -> None:
+        """Take the exclusive ``serve.lock`` on the root (see class
+        docstring); :class:`JobError` if another live service holds it.
+
+        An OS-level ``flock`` is exactly the right primitive here: it
+        is released automatically when the holder dies, so a crashed
+        service never wedges its root, and the successor that takes the
+        lock is by construction the only process whose recovery scan
+        may re-queue RUNNING jobs."""
+        self._lock_file = open(self.root / "serve.lock", "a+")
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            return
+        try:
+            fcntl.flock(self._lock_file.fileno(),
+                        fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            self._lock_file.seek(0)
+            holder = self._lock_file.read().strip() or "unknown pid"
+            self._lock_file.close()
+            self._lock_file = None
+            raise JobError(
+                f"another service ({holder}) is already serving "
+                f"{self.root}; one service per job root — point this "
+                "one at a different --root or stop the other first"
+            ) from None
+        self._lock_file.truncate(0)
+        self._lock_file.seek(0)
+        self._lock_file.write(f"pid {os.getpid()}\n")
+        self._lock_file.flush()
+
+    def _release_root_lock(self) -> None:
+        if self._lock_file is None:
+            return
+        if fcntl is not None:
+            fcntl.flock(self._lock_file.fileno(), fcntl.LOCK_UN)
+        self._lock_file.close()
+        self._lock_file = None
 
     # ------------------------------------------------------------------
     # Recovery
@@ -385,10 +461,24 @@ class ReconstructionService:
                 if self._closed and not len(self._queue):
                     return
                 continue
+            # The queue counts the job in-flight until it lands in
+            # _running, so drain() never sees it in neither place.
             with self._cond:
                 self._running.add(job_id)
+            self._queue.task_done()
             try:
                 self._run_job(job_id)
+            except Exception:
+                # _run_job settles every failure itself; this backstop
+                # only fires on bugs in the settling path — and a worker
+                # thread must never die, so settle FAILED best-effort
+                # and keep serving.
+                try:
+                    record = jobstore.load_record(self.root, job_id)
+                    record.error = traceback.format_exc(limit=8)
+                    self._settle(record, JobState.FAILED, "failed")
+                except Exception:  # pragma: no cover - root gone
+                    pass
             finally:
                 with self._cond:
                     self._running.discard(job_id)
@@ -401,6 +491,15 @@ class ReconstructionService:
         with self._cond:
             self._requests.pop(record.job_id, None)
             self._stats[counter] += 1
+            # Bound in-memory progress: remember the settle order and
+            # evict the oldest settled jobs' streams past the cap (the
+            # mirrored progress.json stays as the durable record).
+            if record.job_id in self._progress:
+                if record.job_id not in self._settled_order:
+                    self._settled_order.append(record.job_id)
+                while len(self._settled_order) > self.progress_cap:
+                    evicted = self._settled_order.popleft()
+                    self._progress.pop(evicted, None)
             self._cond.notify_all()
 
     def _run_job(self, job_id: str) -> None:
@@ -427,54 +526,86 @@ class ReconstructionService:
         record.error = None
         jobstore.save_record(self.root, record)
 
+        # Everything past the RUNNING write sits inside this try: a job
+        # whose config references an unknown backend (possible — jobs
+        # are submitted cross-process against the raw registry names)
+        # must settle FAILED, never escape and kill the worker thread
+        # while the record stays RUNNING on disk.
         directory = jobstore.job_dir(self.root, job_id)
-        base_config = record.reconstruction_config()
-        offset = record.iterations_done
-        remaining = record.iterations_total - offset
-
-        stream = ProgressStream(
-            job_id,
-            record.iterations_total,
-            offset=offset,
-            mirror_path=directory / "progress.json",
-        )
-        with self._cond:
-            self._progress[job_id] = stream
-
-        # The backend instance is shared across concurrent jobs; hold a
-        # lease for the leg so another job settling cannot close it
-        # mid-transform (satellite fix in repro.backend.base).
-        backend_name = (
-            base_config.backend
-            if base_config.backend is not None
-            else resolve_backend(None).name
-        )
-        acquire_backend(backend_name)
+        stream: Optional[ProgressStream] = None
         try:
-            leg_config = base_config.with_solver_params(
-                iterations=remaining
+            base_config = record.reconstruction_config()
+            # Pin ambient (None) backend/dtype to the concrete names
+            # this leg actually runs under, durably.  Checkpoints and
+            # the result archive then carry the *resolved* compute, so
+            # a resume after the process default changed trips the
+            # fingerprint check (ResumeMismatchError) instead of
+            # silently continuing under different numerics — and resume
+            # legs of this job keep running on what the first leg ran on.
+            backend_name = (
+                base_config.backend
+                if base_config.backend is not None
+                else resolve_backend(None).name
             )
-            if record.seed is not None:
-                leg_config = leg_config.with_run_params(
-                    resume=str(directory / record.seed)
+            dtype_name = (
+                base_config.dtype
+                if base_config.dtype is not None
+                else default_dtype_name()
+            )
+            if (base_config.backend, base_config.dtype) != (
+                backend_name, dtype_name
+            ):
+                base_config = base_config.with_compute(
+                    backend=backend_name, dtype=dtype_name
                 )
-            observers = [stream]
-            if self.checkpoint_every is not None:
-                observers.append(
-                    CheckpointPolicy(
-                        jobstore.checkpoints_dir(self.root, job_id),
-                        every=self.checkpoint_every,
-                        config=base_config,
-                        keep_last=2,
+                record.config = base_config.to_dict()
+                jobstore.save_record(self.root, record)
+            offset = record.iterations_done
+            remaining = record.iterations_total - offset
+
+            stream = ProgressStream(
+                job_id,
+                record.iterations_total,
+                offset=offset,
+                mirror_path=directory / "progress.json",
+            )
+            with self._cond:
+                self._progress[job_id] = stream
+                if job_id in self._settled_order:  # resumed job: re-live
+                    self._settled_order.remove(job_id)
+
+            # The backend instance is shared across concurrent jobs;
+            # hold a lease for the leg so another job settling cannot
+            # close it mid-transform (the refcount in
+            # repro.backend.base).
+            acquire_backend(backend_name)
+            try:
+                leg_config = base_config.with_solver_params(
+                    iterations=remaining
+                )
+                if record.seed is not None:
+                    leg_config = leg_config.with_run_params(
+                        resume=str(directory / record.seed)
                     )
+                observers = [stream]
+                if self.checkpoint_every is not None:
+                    observers.append(
+                        CheckpointPolicy(
+                            jobstore.checkpoints_dir(self.root, job_id),
+                            every=self.checkpoint_every,
+                            config=base_config,
+                            keep_last=2,
+                        )
+                    )
+                observers.append(
+                    _LegController(self, record, base_config, offset)
                 )
-            observers.append(
-                _LegController(self, record, base_config, offset)
-            )
-            dataset = load_dataset(
-                jobstore.dataset_path_of(self.root, record)
-            )
-            leg = reconstruct(dataset, leg_config, observers=observers)
+                dataset = load_dataset(
+                    jobstore.dataset_path_of(self.root, record)
+                )
+                leg = reconstruct(dataset, leg_config, observers=observers)
+            finally:
+                release_backend(backend_name)
         except _LegInterrupted as stop:
             jobstore.consolidate_from_archive(
                 self.root, record, stop.checkpoint
@@ -501,8 +632,8 @@ class ReconstructionService:
             jobstore.clear_control(self.root, job_id)
             self._settle(record, JobState.DONE, "done")
         finally:
-            release_backend(backend_name)
-            stream.close()
+            if stream is not None:
+                stream.close()
 
     @staticmethod
     def _merged_result(

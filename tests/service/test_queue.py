@@ -113,3 +113,27 @@ class TestLifecycle:
         q.put("payload")
         thread.join(timeout=5.0)
         assert seen == ["payload"]
+
+
+class TestInFlight:
+    def test_get_counts_in_flight_until_task_done(self):
+        q = JobQueue()
+        q.put("a")
+        assert q.in_flight == 0
+        assert q.get(timeout=0) == "a"
+        # The item left the queue but the worker hasn't acknowledged it:
+        # an observer summing len + in_flight still sees it.
+        assert len(q) == 0
+        assert q.in_flight == 1
+        q.task_done()
+        assert q.in_flight == 0
+
+    def test_timeout_get_does_not_count(self):
+        q = JobQueue()
+        assert q.get(timeout=0.01) is None
+        assert q.in_flight == 0
+
+    def test_extra_task_done_raises(self):
+        q = JobQueue()
+        with pytest.raises(ValueError):
+            q.task_done()

@@ -236,3 +236,86 @@ class TestRecovery:
             assert handle.wait(timeout=WAIT) == JobState.DONE
         listed = [r.job_id for r in service.list_jobs()]
         assert listed == [first.job_id, second.job_id]
+
+
+class TestRootLock:
+    def test_one_service_per_root(self, tmp_path):
+        # A second live service over the same root would re-queue (and
+        # double-run) the first one's RUNNING jobs at its recovery scan.
+        root = tmp_path / "jobs"
+        with ReconstructionService(root, workers=1):
+            with pytest.raises(JobError, match="already serving"):
+                ReconstructionService(root, workers=1)
+        # The lock dies with the holder: a successor takes the root over.
+        ReconstructionService(root, workers=1).close()
+
+    def test_distinct_roots_coexist(self, service_factory):
+        service_factory(workers=1)
+        service_factory(workers=1)  # different root — no contention
+
+
+class TestWorkerResilience:
+    def test_unknown_backend_fails_job_not_worker(
+        self, tiny_dataset, tiny_lr, service_factory
+    ):
+        # Submissions arrive cross-process with raw registry names; a
+        # bad one must settle FAILED — not escape _run_job and kill the
+        # worker thread with the record stuck RUNNING.
+        service = service_factory(workers=1)
+        bad_config = gd_config(tiny_lr, iterations=2).with_compute(
+            backend="no-such-backend"
+        )
+        bad = service.submit(tiny_dataset, bad_config)
+        assert bad.wait(timeout=WAIT) == JobState.FAILED
+        assert "no-such-backend" in bad.record().error
+        # The worker survived: the next job on the same thread completes.
+        good = service.submit(tiny_dataset, gd_config(tiny_lr, iterations=2))
+        assert good.wait(timeout=WAIT) == JobState.DONE
+
+
+class TestComputePinning:
+    def test_ambient_compute_is_pinned_at_run_time(
+        self, tiny_dataset, tiny_lr, service_factory
+    ):
+        # A config submitted with backend=dtype=None must not float
+        # with the process default forever: the first leg stamps the
+        # resolved names into the record and every archive it writes,
+        # so later resumes are fingerprint-checked against what ran.
+        from repro.backend.base import default_backend_name, default_dtype_name
+
+        expected_backend = default_backend_name()
+        expected_dtype = default_dtype_name()
+        service = service_factory(workers=1)
+        handle = service.submit(tiny_dataset, gd_config(tiny_lr, iterations=2))
+        assert handle.wait(timeout=WAIT) == JobState.DONE
+        record = handle.record()
+        assert record.config["backend"] == expected_backend
+        assert record.config["dtype"] == expected_dtype
+        archive = handle.result()
+        assert archive.config.backend == expected_backend
+        assert archive.config.dtype == expected_dtype
+
+
+class TestProgressEviction:
+    def test_settled_streams_evicted_past_cap(
+        self, tiny_dataset, tiny_lr, service_factory
+    ):
+        service = service_factory(workers=1, progress_cap=2)
+        handles = [
+            service.submit(tiny_dataset, gd_config(tiny_lr, iterations=2))
+            for _ in range(3)
+        ]
+        for handle in handles:
+            assert handle.wait(timeout=WAIT) == JobState.DONE
+        # One worker settles in submission order: the oldest settled
+        # job's stream is gone, the newest two survive, and the durable
+        # mirror remains for the evicted one.
+        assert handles[0].progress() is None
+        assert handles[1].progress() is not None
+        assert handles[2].progress() is not None
+        from repro.service import read_progress
+
+        mirror = jobstore.job_dir(
+            service.root, handles[0].job_id
+        ) / "progress.json"
+        assert read_progress(mirror).iteration == 2
