@@ -16,7 +16,12 @@ benches for every available backend x dtype scenario:
 end under the ``serial`` executor vs the ``process`` executor (each
 rank in a worker process, tile state in shared memory), reporting the
 multi-worker speedup.  On a single-CPU machine the expected speedup is
-~1x (the harness records ``cpu_count`` so readers can judge).
+~1x (the harness records ``cpu_count`` so readers can judge).  Each
+scenario also runs one *traced* pass (outside the timing loop — the
+telemetry guard is not free at full instrumentation) and records the
+phase breakdown (fft/gradient/halo/collective/store/queue seconds), so
+the serial-vs-process gap decomposes into compute vs
+dispatch/collect overhead instead of staying one opaque number.
 
 ``--suite data`` -> ``BENCH_data.json``.  The streaming/batching
 pipeline (:mod:`repro.data`): the gd solver (synchronous mode, the
@@ -214,7 +219,25 @@ def bench_gd_runtime(executor, workers, sizes, repeats, dataset_cache={}):
     def run():
         solver.reconstruct(dataset)
 
-    return _best_of(run, repeats)
+    seconds = _best_of(run, repeats)
+
+    # One traced pass, deliberately outside the timing loop: full
+    # instrumentation is cheap but not free, and the phase *shares* are
+    # what matters — where does the serial-vs-process gap come from
+    # (compute? halo? the parent's dispatch/collect round-trip?).
+    from repro.obs import Telemetry, activate
+
+    tel = Telemetry()
+    with activate(tel):
+        solver.reconstruct(dataset)
+    summary = tel.summary()
+    phases = {
+        "breakdown": summary["breakdown"],
+        "collect_seconds": summary["counters"].get(
+            "runtime.collect.seconds"
+        ),
+    }
+    return seconds, phases
 
 
 def run_runtime_suite(sizes, repeats, workers=None):
@@ -226,7 +249,7 @@ def run_runtime_suite(sizes, repeats, workers=None):
     )
     scenarios = [("serial", None), ("process", workers)]
     for executor, w in scenarios:
-        seconds = bench_gd_runtime(executor, w, sz, repeats)
+        seconds, phases = bench_gd_runtime(executor, w, sz, repeats)
         results.append({
             "bench": "gd_recon",
             "executor": executor,
@@ -234,6 +257,7 @@ def run_runtime_suite(sizes, repeats, workers=None):
             "n_ranks": n_ranks,
             "iterations": sz[4],
             "seconds": seconds,
+            "phases": phases,
         })
     base = {
         r["bench"]: r["seconds"]

@@ -32,6 +32,15 @@ Reconstruction-as-a-service:
     ``repro serve`` / ``submit`` / ``jobs`` CLI drives a job directory
     that survives restarts.
 
+Observability:
+    :mod:`repro.obs` — zero-dependency telemetry: per-run
+    :class:`repro.obs.Telemetry` recorders (spans, counters, per-rank
+    timelines), Chrome trace-event export for
+    ``chrome://tracing``/Perfetto, aggregated phase-breakdown
+    summaries (``repro stats``), and the ``repro.*`` structured
+    logging hierarchy; configs carry ``telemetry=``, the CLI
+    ``--trace``, the environment ``REPRO_TRACE``/``REPRO_LOG``.
+
 Streaming & batching:
     :mod:`repro.data` — :class:`repro.data.DiffractionStore`
     measurement stores (in-memory reference, chunked on-disk with
@@ -65,7 +74,15 @@ See README.md for a quickstart built on ``repro.reconstruct``.
 
 __version__ = "1.1.0"
 
-from repro import backend  # noqa: F401  (re-exported subpackages)
+import logging as _logging
+
+# Library-logging contract: every repro module logs under the "repro"
+# namespace; the NullHandler keeps the library silent unless the
+# application (or the CLI's -v/--log-level) opts in.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
+from repro import obs  # noqa: F401  (re-exported subpackages)
+from repro import backend  # noqa: F401
 from repro import data  # noqa: F401
 from repro import utils  # noqa: F401
 from repro import physics  # noqa: F401
@@ -112,9 +129,11 @@ from repro.runtime import (
     resolve_executor,
 )
 from repro.service import JobHandle, ReconstructionService
+from repro.obs import Telemetry
 
 __all__ = [
     "__version__",
+    "obs",
     "backend",
     "data",
     "utils",
@@ -158,4 +177,5 @@ __all__ = [
     "resolve_executor",
     "ReconstructionService",
     "JobHandle",
+    "Telemetry",
 ]

@@ -44,6 +44,7 @@ _FINGERPRINT_NEUTRAL_KEYS = frozenset(
         "data_source",
         "batch_size",
         "prefetch",
+        "telemetry",
     }
 )
 
@@ -58,6 +59,7 @@ _CONFIG_KEYS = (
     "data_source",
     "batch_size",
     "prefetch",
+    "telemetry",
 )
 
 
@@ -141,6 +143,13 @@ class ReconstructionConfig:
     prefetch:
         Overlap on-disk chunk I/O with compute (``None`` = ambient
         default, off).
+    telemetry:
+        Record tracing spans and counters during the run (see
+        :mod:`repro.obs`); ``None`` follows the ambient default
+        (``REPRO_TRACE``, else off).  Telemetry never changes numerics
+        — it is fingerprint-neutral by construction, and the obs test
+        suite pins disabled runs bit-identical to the golden
+        fingerprints.
     """
 
     solver: str
@@ -153,6 +162,7 @@ class ReconstructionConfig:
     data_source: str = None
     batch_size: int = None
     prefetch: bool = None
+    telemetry: bool = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.solver, str) or not self.solver:
@@ -183,6 +193,8 @@ class ReconstructionConfig:
             raise ValueError("batch_size must be a positive int or None")
         if self.prefetch is not None and not isinstance(self.prefetch, bool):
             raise ValueError("prefetch must be a bool or None")
+        if self.telemetry is not None and not isinstance(self.telemetry, bool):
+            raise ValueError("telemetry must be a bool or None")
         # Validates the name only (whether the backend is *registered/
         # available* is a run-time question, so configs written for
         # other machines stay loadable).
@@ -219,6 +231,7 @@ class ReconstructionConfig:
             "data_source": self.data_source,
             "batch_size": self.batch_size,
             "prefetch": self.prefetch,
+            "telemetry": self.telemetry,
         }
 
     @classmethod
@@ -251,6 +264,7 @@ class ReconstructionConfig:
             data_source=payload.get("data_source"),
             batch_size=payload.get("batch_size"),
             prefetch=payload.get("prefetch"),
+            telemetry=payload.get("telemetry"),
         )
 
     def to_json(self, indent: int = 2) -> str:
@@ -366,3 +380,10 @@ class ReconstructionConfig:
             batch_size=batch_size,
             prefetch=prefetch,
         )
+
+    def with_telemetry(self, telemetry: bool = True) -> "ReconstructionConfig":
+        """New config with telemetry recording pinned on (or off) —
+        how ``repro reconstruct --trace`` turns tracing on without
+        touching any numerics-relevant field (``None`` keeps the
+        current value, like every other ``with_*`` helper)."""
+        return self._replace(telemetry=telemetry)

@@ -14,6 +14,7 @@ from typing import List, Optional, Union
 from repro.api.config import ReconstructionConfig
 from repro.core.observers import IterationEvent, Observer, dispatch
 from repro.io.storage import save_result
+from repro.obs import telemetry as _obs
 
 __all__ = [
     "IterationEvent",
@@ -77,7 +78,12 @@ class CheckpointPolicy:
         path = self.directory / (
             f"{self.prefix}_iter{event.iteration + 1:04d}.npz"
         )
-        save_result(path, event.snapshot(), config=self.config)
+        tel = _obs.current()
+        if tel.enabled:
+            with tel.span("checkpoint.save", iteration=event.iteration):
+                save_result(path, event.snapshot(), config=self.config)
+        else:
+            save_result(path, event.snapshot(), config=self.config)
         self.saved_paths.append(path)
         if self.keep_last is not None:
             while len(self.saved_paths) > self.keep_last:

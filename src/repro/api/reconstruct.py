@@ -21,6 +21,7 @@ from repro.data import open_store, resolve_batch_size
 from repro.core.observers import Observer
 from repro.core.reconstructor import ReconstructionResult
 from repro.io.storage import load_result
+from repro.obs import telemetry as _obs
 from repro.physics.dataset import PtychoDataset
 from repro.runtime.executor import default_executor_name, get_executor
 
@@ -156,6 +157,33 @@ def reconstruct(
         # from the dataset's nominal one.
         if initial_probe is None and archive.probe is not None:
             initial_probe = archive.probe
+    # A recorder already activated by the caller (the CLI's --trace, a
+    # service worker) is reused so its spans and the run's spans land on
+    # one timeline; otherwise the usual precedence applies — explicit
+    # config field beats REPRO_TRACE beats off — and an enabled run gets
+    # its own run-scoped recorder.  Either way the aggregated summary is
+    # attached to the result (and from there to saved archives).
+    ambient = _obs.current()
+    if ambient.enabled:
+        result = solver.reconstruct(
+            dataset,
+            observers=observers,
+            initial_probe=initial_probe,
+            initial_volume=initial_volume,
+        )
+        result.telemetry = ambient.summary()
+        return result
+    if _obs.resolve_telemetry(config.telemetry):
+        tel = _obs.Telemetry()
+        with _obs.activate(tel):
+            result = solver.reconstruct(
+                dataset,
+                observers=observers,
+                initial_probe=initial_probe,
+                initial_volume=initial_volume,
+            )
+        result.telemetry = tel.summary()
+        return result
     return solver.reconstruct(
         dataset,
         observers=observers,

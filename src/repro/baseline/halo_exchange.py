@@ -38,6 +38,7 @@ from repro.core.observers import (
 )
 from repro.core.reconstructor import ReconstructionResult
 from repro.core.stitching import stitch
+from repro.obs import telemetry as _obs
 from repro.parallel.topology import MeshLayout
 from repro.physics.dataset import PtychoDataset
 from repro.runtime.executor import EnginePlan, resolve_executor
@@ -226,6 +227,7 @@ class HaloExchangeReconstructor:
                 executor_spec = "serial"
         decomp = self.decompose(dataset)
         schedule = self.build_iteration_schedule(decomp)
+        tel = _obs.current()
         session = resolve_executor(
             executor_spec, workers=self.runtime_workers
         ).launch(
@@ -240,6 +242,7 @@ class HaloExchangeReconstructor:
                 data_source=self.data_source,
                 batch_size=self.batch_size,
                 prefetch=self.prefetch,
+                telemetry=tel.enabled,
             )
         )
         if callback is not None and session.engine is None:
@@ -264,7 +267,11 @@ class HaloExchangeReconstructor:
         emitter = IterationEmitter("hve", self.iterations, observers)
         try:
             for it in range(self.iterations):
-                cost = session.step()
+                if tel.enabled:
+                    with tel.span("run.iteration", iteration=it):
+                        cost = session.step()
+                else:
+                    cost = session.step()
                 history.append(cost)
                 if callback is not None:
                     callback(it, cost, session.engine)

@@ -22,8 +22,22 @@ filesystem job root that survives restarts:
     repro-ptycho submit --root jobs/ --dataset ds.npz --config run.json
     repro-ptycho serve  --root jobs/ --workers 2 --drain
     repro-ptycho jobs   --root jobs/                  # list + live progress
+    repro-ptycho jobs   --root jobs/ --watch          # poll until settled
     repro-ptycho jobs   --root jobs/ --cancel JOBID --at-iteration 5
     repro-ptycho jobs   --root jobs/ --resume JOBID   # requeue from checkpoint
+
+Observability: ``reconstruct --trace out.json`` records tracing spans
+and writes a Chrome trace (chrome://tracing / Perfetto), ``stats``
+prints the aggregated phase breakdown of a traced archive or job
+directory, and the top-level ``-v``/``--log-level`` flags opt into the
+library's structured logs:
+
+.. code-block:: bash
+
+    repro-ptycho reconstruct --dataset ds.npz --trace trace.json --out rec.npz
+    repro-ptycho stats rec.npz
+    repro-ptycho stats jobs/jobs/<JOBID>      # service job directory
+    repro-ptycho -v serve --root jobs/ --drain
 
 ``submit`` and ``jobs`` only touch the job directory, so they work with
 or without a running server: submissions queue up for the next ``serve``,
@@ -112,6 +126,14 @@ def build_parser() -> argparse.ArgumentParser:
             "(SC22 reproduction)"
         ),
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="library log verbosity: -v = INFO, -vv = DEBUG (default: "
+             "REPRO_LOG env or warnings only)")
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="explicit logging level name or number (overrides -v and "
+             "REPRO_LOG)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sim = sub.add_parser("simulate", help="simulate a PbTiO3 acquisition")
@@ -176,6 +198,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "overrides a config that pinned it on")
     rec.add_argument("--resume", default=None,
                      help="warm-start from a saved result archive")
+    rec.add_argument("--trace", metavar="PATH", default=None,
+                     help="record telemetry and write a Chrome trace-event "
+                          "JSON here (open in chrome://tracing or Perfetto); "
+                          "also attaches the aggregated stats to --out")
     rec.add_argument("--out", required=True)
 
     sto = sub.add_parser(
@@ -246,6 +272,22 @@ def build_parser() -> argparse.ArgumentParser:
                           "global iterations are banked")
     job.add_argument("--resume", metavar="JOBID", default=None,
                      help="requeue a settled job from its checkpoint")
+    job.add_argument("--watch", action="store_true",
+                     help="re-render the listing every --interval seconds "
+                          "until every job settles")
+    job.add_argument("--interval", type=float, default=2.0,
+                     help="polling period for --watch (default 2s)")
+    job.add_argument("--watch-count", type=int, default=None,
+                     help=argparse.SUPPRESS)  # bounded --watch, for tests/CI
+
+    sts = sub.add_parser(
+        "stats", help="show a traced run's phase breakdown and counters"
+    )
+    sts.add_argument("path",
+                     help="a result archive (.npz with telemetry attached) "
+                          "or a service job directory (telemetry.json)")
+    sts.add_argument("--json", action="store_true",
+                     help="print the raw summary JSON instead of the table")
     return parser
 
 
@@ -426,7 +468,19 @@ def _cmd_reconstruct(args) -> int:
         resume = config.run_params.get("resume")
         if resume is not None:
             print(f"resuming from {resume}")
-        result = reconstruct(dataset, config)
+        if args.trace is not None:
+            from repro.obs import Telemetry, activate
+
+            # One recorder for the whole command, activated before the
+            # run so the solver, its engines and any worker processes
+            # all record onto the timeline --trace exports.
+            config = config.with_telemetry(True)
+            tel = Telemetry()
+            with activate(tel):
+                result = reconstruct(dataset, config)
+        else:
+            tel = None
+            result = reconstruct(dataset, config)
     except (UnknownSolverError, SolverCapabilityError,
             BackendUnavailableError, StoreUnavailableError,
             ValueError, TypeError) as exc:
@@ -455,6 +509,14 @@ def _cmd_reconstruct(args) -> int:
     print(f"messages: {result.messages}, "
           f"peak memory/rank: {result.peak_memory_mean / 1e6:.2f} MB")
     print(f"wrote {path} (config embedded for replay)")
+    if tel is not None:
+        from repro.obs import format_stats_table, write_chrome_trace
+
+        trace_path = write_chrome_trace(args.trace, tel)
+        print(f"wrote {trace_path} "
+              f"(chrome://tracing / https://ui.perfetto.dev)")
+        print()
+        print(format_stats_table(result.telemetry or tel.summary()))
     return 0
 
 
@@ -613,36 +675,85 @@ def _cmd_jobs(args) -> int:
         print(f"jobs: error: {exc}", file=sys.stderr)
         return 2
 
-    job_ids = jobstore.list_job_ids(args.root)
-    if not job_ids:
-        print(f"no jobs under {args.root}")
-        return 0
-    print(f"{'JOB':14} {'STATE':10} {'PRI':>3} {'ITER':>9} "
-          f"{'RESUMES':>7}  DETAIL")
-    for job_id in job_ids:
-        record = jobstore.load_record(args.root, job_id)
-        detail = ""
-        if record.state == "RUNNING":
-            update = read_progress(
-                jobstore.job_dir(args.root, job_id) / "progress.json"
+    def render() -> bool:
+        """Print the listing; True while any job is still live."""
+        from repro.service.jobs import JobState
+
+        job_ids = jobstore.list_job_ids(args.root)
+        if not job_ids:
+            print(f"no jobs under {args.root}")
+            return False
+        active = False
+        print(f"{'JOB':14} {'STATE':10} {'PRI':>3} {'ITER':>9} "
+              f"{'RESUMES':>7}  DETAIL")
+        for job_id in job_ids:
+            record = jobstore.load_record(args.root, job_id)
+            detail = ""
+            if record.state == "RUNNING":
+                update = read_progress(
+                    jobstore.job_dir(args.root, job_id) / "progress.json"
+                )
+                if update is not None:
+                    detail = (f"cost {update.cost:.3e}, "
+                              f"{update.iter_per_s:.2f} it/s")
+                    if update.backend is not None:
+                        detail += f" on {update.backend}/{update.dtype}"
+                    if update.phase is not None:
+                        detail += f" [{update.phase}]"
+            elif record.state == "FAILED" and record.error:
+                detail = record.error.strip().splitlines()[-1]
+            done = (
+                record.iterations_done if record.state != "DONE"
+                else record.iterations_total
             )
-            if update is not None:
-                detail = f"cost {update.cost:.3e}, {update.iter_per_s:.2f} it/s"
-        elif record.state == "FAILED" and record.error:
-            detail = record.error.strip().splitlines()[-1]
-        done = (
-            record.iterations_done if record.state != "DONE"
-            else record.iterations_total
-        )
-        print(f"{record.job_id:14} {record.state:10} "
-              f"{record.priority:>3} {done:>4}/{record.iterations_total:<4} "
-              f"{record.resumes:>7}  {detail}")
+            active = active or record.state not in JobState.SETTLED
+            print(f"{record.job_id:14} {record.state:10} "
+                  f"{record.priority:>3} "
+                  f"{done:>4}/{record.iterations_total:<4} "
+                  f"{record.resumes:>7}  {detail}")
+        return active
+
+    if not args.watch:
+        render()
+        return 0
+    import time as _time
+
+    polls = 0
+    while True:
+        active = render()
+        polls += 1
+        bounded = args.watch_count is not None and polls >= args.watch_count
+        if not active or bounded:
+            return 0
+        _time.sleep(args.interval)
+        print()
+
+
+def _cmd_stats(args) -> int:
+    import json
+
+    from repro.obs import format_stats_table, load_stats
+
+    try:
+        summary = load_stats(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"stats: error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(format_stats_table(summary))
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    from repro.obs import configure_logging
+
+    # Explicit --log-level beats -v beats REPRO_LOG beats warnings-only;
+    # the handler touches only the "repro" logger, never the root.
+    configure_logging(explicit=args.log_level, verbosity=args.verbose)
     handlers = {
         "simulate": _cmd_simulate,
         "store": _cmd_store,
@@ -652,6 +763,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "jobs": _cmd_jobs,
+        "stats": _cmd_stats,
     }
     return handlers[args.command](args)
 

@@ -40,8 +40,11 @@ from repro.backend.base import (
     resolve_backend,
     resolve_precision,
 )
+import time
+
 from repro.core.decomposition import Decomposition
 from repro.core.passes import TAG_NEIGHBOR
+from repro.obs import telemetry as _obs
 from repro.data import (
     BatchPlanner,
     DiffractionStore,
@@ -70,6 +73,22 @@ from repro.schedule.ops import (
 from repro.utils.geometry import Rect
 
 __all__ = ["RankState", "NumericEngine"]
+
+#: Telemetry span name per schedule op — the engine's phase vocabulary
+#: (gradient compute, halo exchange, collectives, buffer accumulate),
+#: matching the paper's per-phase timing decomposition.
+_PHASE_OF = {
+    ComputeGradients: "engine.compute",
+    LocalSolve: "engine.local_solve",
+    BufferExchange: "engine.exchange",
+    AllReduceGradient: "engine.allreduce",
+    ApplyBufferUpdate: "engine.apply",
+    ResetBuffer: "engine.apply",
+    VoxelPaste: "engine.paste",
+    Barrier: "engine.barrier",
+    ProbeSync: "engine.probe_sync",
+    ApplyProbeUpdate: "engine.apply",
+}
 
 
 @dataclass
@@ -244,6 +263,11 @@ class NumericEngine:
         self._state_by_rank: Dict[int, RankState] = {
             s.rank: s for s in self.states
         }
+        # The ambient recorder at construction time: engines are built
+        # inside the run's activation scope (serial executor, worker
+        # main), so this binds the per-run/per-worker recorder once
+        # instead of a thread-local lookup per op.
+        self._obs = _obs.current()
         self._dispatch = {
             ComputeGradients: self._op_compute,
             LocalSolve: self._op_local_solve,
@@ -339,15 +363,35 @@ class NumericEngine:
         subset, ops whose ranks are all elsewhere are skipped — the
         remaining sequence is exactly this worker's merged SPMD program.
         """
+        tel = self._obs
+        if not tel.enabled:
+            for op in schedule:
+                if not self._hosts_all and self._hosted_set.isdisjoint(
+                    op.ranks()
+                ):
+                    continue
+                handler = self._dispatch.get(type(op))
+                if handler is None:  # pragma: no cover - future op types
+                    raise TypeError(
+                        f"numeric engine cannot run {type(op).__name__}"
+                    )
+                handler(op)
+            return
         for op in schedule:
-            if not self._hosts_all and self._hosted_set.isdisjoint(
-                op.ranks()
-            ):
+            op_ranks = self._hosted_set.intersection(op.ranks())
+            if not self._hosts_all and not op_ranks:
                 continue
             handler = self._dispatch.get(type(op))
             if handler is None:  # pragma: no cover - future op types
-                raise TypeError(f"numeric engine cannot run {type(op).__name__}")
-            handler(op)
+                raise TypeError(
+                    f"numeric engine cannot run {type(op).__name__}"
+                )
+            # Attribute the span to the lowest hosted rank the op
+            # touches — point-to-point ops appear on one timeline, not
+            # both, which keeps per-rank rows readable.
+            with tel.span(_PHASE_OF.get(type(op), "engine.op"),
+                          rank=min(op_ranks)):
+                handler(op)
 
     def iteration_cost(self) -> float:
         """Sum of per-probe data-fit values recorded since the last call
@@ -404,7 +448,15 @@ class NumericEngine:
         shard when present, else straight from the store."""
         frame = state.measurements.get(idx)
         if frame is None:
-            frame = self.store.read(idx)
+            if self._obs.enabled:
+                t0 = time.perf_counter()
+                frame = self.store.read(idx)
+                self._obs.add({
+                    "store.read.calls": 1,
+                    "store.read.seconds": time.perf_counter() - t0,
+                })
+            else:
+                frame = self.store.read(idx)
         return np.asarray(frame, dtype=self.precision.real_dtype)
 
     def _measured_batch(
@@ -415,6 +467,14 @@ class NumericEngine:
         to ``B`` separate :meth:`_measured` reads."""
         if state.measurements:
             stack = np.stack([state.measurements[i] for i in indices])
+        elif self._obs.enabled:
+            t0 = time.perf_counter()
+            stack = self.store.read_batch(indices)
+            self._obs.add({
+                "store.read.calls": 1,
+                "store.read.frames": len(indices),
+                "store.read.seconds": time.perf_counter() - t0,
+            })
         else:
             stack = self.store.read_batch(indices)
         return np.asarray(stack, dtype=self.precision.real_dtype)

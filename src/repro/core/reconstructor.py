@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.decomposition import Decomposition, decompose_gradient
 from repro.core.engine import NumericEngine
+from repro.obs import telemetry as _obs
 from repro.core.observers import (
     IterationEmitter,
     Observer,
@@ -84,6 +85,11 @@ class ReconstructionResult:
         The tile decomposition used.
     probe:
         Final probe estimate (None unless probe refinement was enabled).
+    telemetry:
+        Aggregated telemetry summary (``repro.obs`` schema) when the run
+        recorded one; ``None`` for telemetry-disabled runs.  Attached
+        after the run by :func:`repro.api.reconstruct` and persisted in
+        result archives.
     """
 
     volume: np.ndarray
@@ -93,6 +99,7 @@ class ReconstructionResult:
     peak_memory_per_rank: List[int]
     decomposition: Decomposition = field(repr=False)
     probe: Optional[np.ndarray] = field(default=None, repr=False)
+    telemetry: Optional[Dict] = field(default=None, repr=False)
 
     @property
     def n_iterations(self) -> int:
@@ -377,6 +384,7 @@ class GradientDecompositionReconstructor:
                 executor_spec = "serial"
         decomp = self.decompose(dataset)
         schedule = self.build_iteration_schedule(decomp)
+        tel = _obs.current()
         session = resolve_executor(
             executor_spec, workers=self.runtime_workers
         ).launch(
@@ -394,6 +402,7 @@ class GradientDecompositionReconstructor:
                 data_source=self.data_source,
                 batch_size=self.batch_size,
                 prefetch=self.prefetch,
+                telemetry=tel.enabled,
             )
         )
         if callback is not None and session.engine is None:
@@ -419,7 +428,11 @@ class GradientDecompositionReconstructor:
         emitter = IterationEmitter("gd", self.iterations, observers)
         try:
             for it in range(self.iterations):
-                cost = session.step()
+                if tel.enabled:
+                    with tel.span("run.iteration", iteration=it):
+                        cost = session.step()
+                else:
+                    cost = session.step()
                 history.append(cost)
                 if callback is not None:
                     callback(it, cost, session.engine)

@@ -14,10 +14,13 @@ callable) so both on-disk store flavours share it.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Dict, Optional
 
 import numpy as np
+
+from repro.obs import telemetry as _obs
 
 __all__ = ["ChunkPrefetcher"]
 
@@ -61,7 +64,18 @@ class ChunkPrefetcher:
         if future is None:
             return None
         self._hits += 1
-        return future.result()
+        tel = _obs.current()
+        if not tel.enabled:
+            return future.result()
+        # The caller blocks here exactly when compute outran the I/O —
+        # the residual latency double-buffering failed to hide.
+        t0 = time.perf_counter()
+        chunk = future.result()
+        tel.add({
+            "store.prefetch.hits": 1,
+            "store.prefetch.wait_seconds": time.perf_counter() - t0,
+        })
+        return chunk
 
     def stats(self) -> Dict[str, int]:
         """Lifetime scheduled/consumed counts (benchmark telemetry)."""

@@ -33,6 +33,7 @@ parity suite in ``tests/data`` pins.
 from __future__ import annotations
 
 import json
+import time
 import zipfile
 from abc import ABC, abstractmethod
 from collections import OrderedDict
@@ -42,6 +43,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.data.prefetch import ChunkPrefetcher
+from repro.obs import telemetry as _obs
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
     from repro.physics.dataset import PtychoDataset
@@ -321,14 +323,29 @@ class ChunkedNpzStore(DiffractionStore):
         return self._zip
 
     def _load_chunk(self, ci: int) -> np.ndarray:
+        tel = _obs.current()
+        if not tel.enabled:
+            with self._zipfile().open(_chunk_member(ci)) as member:
+                return np.lib.format.read_array(member, allow_pickle=False)
+        t0 = time.perf_counter()
         with self._zipfile().open(_chunk_member(ci)) as member:
-            return np.lib.format.read_array(member, allow_pickle=False)
+            chunk = np.lib.format.read_array(member, allow_pickle=False)
+        tel.add({
+            "store.chunk_load.calls": 1,
+            "store.chunk_load.seconds": time.perf_counter() - t0,
+        })
+        return chunk
 
     def _chunk(self, ci: int) -> np.ndarray:
+        tel = _obs.current()
         cached = self._cache.get(ci)
         if cached is not None:
+            if tel.enabled:
+                tel.count("store.cache.hits")
             self._cache.move_to_end(ci)
         else:
+            if tel.enabled:
+                tel.count("store.cache.misses")
             pending = (
                 self._prefetcher.take(ci)
                 if self._prefetcher is not None

@@ -124,6 +124,9 @@ class ResultArchive:
     #: embedded one (``save_result(..., config=...)``); replay it with
     #: ``repro.reconstruct(dataset, archive.config)``.
     config: Optional["ReconstructionConfig"] = None
+    #: Aggregated telemetry summary (``Telemetry.summary()``), when the
+    #: archived run was traced; ``repro stats archive.npz`` reads it.
+    telemetry: Optional[Mapping[str, Any]] = None
 
     @property
     def final_cost(self) -> float:
@@ -169,6 +172,10 @@ def save_result(
         if not isinstance(config, ReconstructionConfig):
             config = ReconstructionConfig.from_dict(config)
         payload["config_json"] = np.array(config.to_json())
+    if getattr(result, "telemetry", None) is not None:
+        payload["telemetry_json"] = np.array(
+            json.dumps(result.telemetry, sort_keys=True)
+        )
     np.savez_compressed(path, **payload)
     return path
 
@@ -192,6 +199,11 @@ def load_result(path: Union[str, Path]) -> ResultArchive:
             config=(
                 ReconstructionConfig.from_json(str(archive["config_json"]))
                 if "config_json" in archive
+                else None
+            ),
+            telemetry=(
+                json.loads(str(archive["telemetry_json"]))
+                if "telemetry_json" in archive
                 else None
             ),
         )

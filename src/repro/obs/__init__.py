@@ -1,0 +1,48 @@
+"""``repro.obs`` — zero-dependency observability: tracing spans,
+counters, per-rank timelines, and structured-logging setup.
+
+See :mod:`repro.obs.telemetry` for the recording model (per-run
+:class:`Telemetry`, ambient :func:`current`/:func:`activate`
+resolution, the ``REPRO_TRACE`` enablement rule) and
+:mod:`repro.obs.export` for the Chrome-trace and stats-table
+read-outs.  :mod:`repro.obs.logconfig` holds the CLI-side logging
+configuration for the ``repro.*`` logger hierarchy.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    format_stats_table,
+    load_stats,
+    write_chrome_trace,
+)
+from repro.obs.logconfig import ENV_LOG, configure_logging, resolve_log_level
+from repro.obs.telemetry import (
+    BREAKDOWN_KEYS,
+    ENV_TRACE,
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    activate,
+    current,
+    default_telemetry_enabled,
+    resolve_telemetry,
+)
+
+__all__ = [
+    "BREAKDOWN_KEYS",
+    "ENV_LOG",
+    "ENV_TRACE",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Telemetry",
+    "activate",
+    "chrome_trace",
+    "configure_logging",
+    "current",
+    "default_telemetry_enabled",
+    "format_stats_table",
+    "load_stats",
+    "resolve_log_level",
+    "resolve_telemetry",
+    "write_chrome_trace",
+]

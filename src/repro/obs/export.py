@@ -1,0 +1,200 @@
+"""Telemetry read-outs: Chrome trace-event JSON and the stats table.
+
+Two consumers, two formats:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the *timeline*
+  view.  Emits the Chrome trace-event JSON object format (complete
+  ``X`` duration events plus ``M`` process-name metadata), loadable
+  directly in ``chrome://tracing`` or https://ui.perfetto.dev.  Each
+  logical rank gets its own ``pid`` row (``pid 0`` is the run-level
+  timeline), so a process-executor run renders as the per-rank swimlane
+  picture the paper draws for Summit.
+* :func:`format_stats_table` / :func:`load_stats` — the *aggregate*
+  view.  A summary dict (see :meth:`Telemetry.summary`) renders as a
+  fixed-width phase table; ``load_stats`` resolves the ``repro stats``
+  CLI argument — a result archive (``.npz`` with an embedded
+  ``telemetry_json``) or a service job directory (``telemetry.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.telemetry import BREAKDOWN_KEYS, Telemetry
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "format_stats_table",
+    "load_stats",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Trace rows: the run-level timeline plus one row per logical rank.
+_RUN_PID = 0
+
+
+def _pid_of(rank: Optional[int]) -> int:
+    return _RUN_PID if rank is None else int(rank) + 1
+
+
+def chrome_trace(telemetry: Telemetry) -> Dict[str, Any]:
+    """The recorder's events as a Chrome trace-event JSON object.
+
+    Timestamps are microseconds relative to the recorder's epoch;
+    ingested worker events share the machine-wide monotonic clock, so
+    no rebasing is needed (and per-rank order is preserved).
+    """
+    epoch = telemetry.epoch
+    events: List[Dict[str, Any]] = []
+    pids_seen = set()
+    for name, rank, t0, t1, args in telemetry.events_snapshot():
+        pid = _pid_of(rank)
+        pids_seen.add(pid)
+        event = {
+            "name": name,
+            "cat": name.partition(".")[0],
+            "ph": "X",
+            "ts": round(max(0.0, (t0 - epoch)) * 1e6, 3),
+            "dur": round(max(0.0, (t1 - t0)) * 1e6, 3),
+            "pid": pid,
+            "tid": 0,
+        }
+        if args:
+            event["args"] = dict(args)
+        events.append(event)
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "ts": 0,
+            "args": {
+                "name": "run" if pid == _RUN_PID else f"rank {pid - 1}"
+            },
+        }
+        for pid in sorted(pids_seen)
+    ]
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.obs", "schema": "repro-trace/1"},
+    }
+
+
+def write_chrome_trace(
+    path: Union[str, Path], telemetry: Telemetry
+) -> Path:
+    """Write the Chrome trace-event JSON for ``telemetry`` to ``path``."""
+    path = Path(path)
+    payload = chrome_trace(telemetry)
+    path.write_text(json.dumps(payload) + "\n")
+    logger.info(
+        "wrote Chrome trace with %d events to %s (open in chrome://tracing "
+        "or https://ui.perfetto.dev)",
+        len(payload["traceEvents"]),
+        path,
+    )
+    return path
+
+
+# ----------------------------------------------------------------------
+# Aggregate view
+# ----------------------------------------------------------------------
+def format_stats_table(summary: Dict[str, Any]) -> str:
+    """Render a telemetry summary as a fixed-width text table.
+
+    Sections: the phase breakdown (the paper's timing vocabulary),
+    per-span totals, and the non-timing counters.
+    """
+    lines: List[str] = []
+    breakdown = summary.get("breakdown", {})
+    total = sum(breakdown.values()) or 1.0
+    lines.append(f"{'PHASE':<12} {'SECONDS':>10} {'SHARE':>7}")
+    for key in BREAKDOWN_KEYS:
+        seconds = breakdown.get(key, 0.0)
+        lines.append(
+            f"{key:<12} {seconds:>10.4f} {100.0 * seconds / total:>6.1f}%"
+        )
+    phases = summary.get("phases", {})
+    if phases:
+        lines.append("")
+        lines.append(f"{'SPAN':<24} {'CALLS':>8} {'SECONDS':>10}")
+        for name in sorted(phases):
+            slot = phases[name]
+            lines.append(
+                f"{name:<24} {int(slot['calls']):>8} {slot['seconds']:>10.4f}"
+            )
+    counters = {
+        name: value
+        for name, value in summary.get("counters", {}).items()
+        if not name.endswith(".seconds")
+    }
+    if counters:
+        lines.append("")
+        lines.append(f"{'COUNTER':<32} {'VALUE':>12}")
+        for name in sorted(counters):
+            value = float(counters[name])
+            shown = f"{int(value)}" if value.is_integer() else f"{value:.4f}"
+            lines.append(f"{name:<32} {shown:>12}")
+    dropped = summary.get("events_dropped", 0)
+    if dropped:
+        lines.append("")
+        lines.append(f"(trace truncated: {dropped} events dropped)")
+    return "\n".join(lines)
+
+
+def load_stats(path: Union[str, Path]) -> Dict[str, Any]:
+    """Resolve the ``repro stats`` argument to a telemetry summary.
+
+    ``path`` may be a result archive (``.npz`` written by
+    :func:`repro.io.save_result` with telemetry attached) or a service
+    job directory (containing ``telemetry.json``).  Raises
+    ``ValueError`` when the target holds no telemetry — a run recorded
+    without tracing enabled has nothing to show, and saying so beats
+    printing an all-zero table.
+    """
+    path = Path(path)
+    if path.is_dir():
+        telemetry_path = path / "telemetry.json"
+        if not telemetry_path.is_file():
+            raise ValueError(
+                f"{path} has no telemetry.json — the job has not settled "
+                f"yet, or predates the telemetry subsystem"
+            )
+        payload = json.loads(telemetry_path.read_text())
+        if payload.get("schema") == "repro-job-telemetry/1":
+            summary = payload.get("summary")
+            if summary is None:
+                raise ValueError(
+                    f"job {payload.get('job_id')} ran without tracing — "
+                    f"submit with config telemetry=true (or REPRO_TRACE=1 "
+                    f"in the server's environment) to record spans"
+                )
+            # Surface the job-level wait-vs-run split alongside the
+            # leg's own counters (names deliberately not *.seconds so
+            # the stats table shows them).
+            queue = payload.get("queue") or {}
+            counters = dict(summary.get("counters", {}))
+            if queue.get("wait_s") is not None:
+                counters.setdefault("job.queue_wait_s", queue["wait_s"])
+            if queue.get("run_s") is not None:
+                counters.setdefault("job.run_s", queue["run_s"])
+            return dict(summary, counters=counters)
+        return payload
+    if not path.is_file():
+        raise ValueError(f"{path} is neither an archive nor a job directory")
+    from repro.io.storage import load_result
+
+    archive = load_result(path)
+    if archive.telemetry is None:
+        raise ValueError(
+            f"{path} holds no telemetry summary — re-run with --trace, "
+            f"config telemetry=true, or REPRO_TRACE=1 to record one"
+        )
+    return archive.telemetry

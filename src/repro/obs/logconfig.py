@@ -1,0 +1,94 @@
+"""Logging setup for the ``repro.*`` logger hierarchy.
+
+The library side follows the standard library-logging contract: every
+module logs to ``logging.getLogger(__name__)`` (all under the
+``repro`` namespace) and the package root installs a ``NullHandler``,
+so embedding applications hear nothing unless they opt in.
+
+The CLI side opts in here: :func:`configure_logging` attaches one
+stream handler to the ``repro`` logger at a level resolved with the
+repo's usual precedence — an explicit ``--log-level`` beats ``-v``
+verbosity flags beats the ``REPRO_LOG`` environment variable beats the
+``WARNING`` default.  Configuration is idempotent (re-invocation
+replaces the handler rather than stacking duplicates) and deliberately
+touches only the ``repro`` logger, never the root logger.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional
+
+__all__ = ["ENV_LOG", "resolve_log_level", "configure_logging"]
+
+#: Ambient log-level knob (a level name like ``DEBUG`` or a number).
+ENV_LOG = "REPRO_LOG"
+
+_DEFAULT_LEVEL = logging.WARNING
+
+#: Marker attribute identifying the handler this module installed.
+_HANDLER_FLAG = "_repro_cli_handler"
+
+
+def _parse_level(value: str) -> int:
+    text = str(value).strip()
+    if text.isdigit():
+        return int(text)
+    level = logging.getLevelName(text.upper())
+    if not isinstance(level, int):
+        raise ValueError(
+            f"unknown log level {value!r}; use DEBUG, INFO, WARNING, "
+            f"ERROR, CRITICAL, or a number"
+        )
+    return level
+
+
+def resolve_log_level(
+    explicit: Optional[str] = None, verbosity: int = 0
+) -> int:
+    """The effective level: explicit beats ``-v`` beats ``REPRO_LOG``
+    beats WARNING.
+
+    An unparsable ``REPRO_LOG`` falls back to the default instead of
+    raising — an environment variable must never be able to crash a
+    run that did not ask for logging at all.
+    """
+    if explicit is not None:
+        return _parse_level(explicit)
+    if verbosity >= 2:
+        return logging.DEBUG
+    if verbosity == 1:
+        return logging.INFO
+    ambient = os.environ.get(ENV_LOG)
+    if ambient:
+        try:
+            return _parse_level(ambient)
+        except ValueError:
+            logging.getLogger(__name__).warning(
+                "ignoring unparsable %s=%r", ENV_LOG, ambient
+            )
+    return _DEFAULT_LEVEL
+
+
+def configure_logging(
+    explicit: Optional[str] = None,
+    verbosity: int = 0,
+    stream=None,
+) -> int:
+    """Attach a stream handler to the ``repro`` logger and return the
+    resolved level (see module docstring for the precedence)."""
+    level = resolve_log_level(explicit, verbosity)
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+    )
+    setattr(handler, _HANDLER_FLAG, True)
+    root.addHandler(handler)
+    root.setLevel(level)
+    return level

@@ -111,6 +111,10 @@ class EnginePlan:
     data_source: Optional[object] = None
     batch_size: Optional[int] = None
     prefetch: bool = False
+    #: Record per-rank telemetry in worker processes and ship it back
+    #: with each step report (set by the reconstructor from the active
+    #: recorder; see :mod:`repro.obs`).  Plain bool so it pickles.
+    telemetry: bool = False
 
 
 # ----------------------------------------------------------------------

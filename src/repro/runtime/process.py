@@ -29,10 +29,12 @@ fingerprint-identical to the serial executor on the numpy backend.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing as mp
 import os
 import queue as queue_mod
 import threading
+import time
 import traceback
 from multiprocessing import shared_memory
 from typing import Any, Dict, List, Optional, Tuple
@@ -40,6 +42,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.backend.base import resolve_precision
+from repro.obs import telemetry as _obs
 from repro.runtime.executor import (
     EnginePlan,
     ExecutionSession,
@@ -54,6 +57,8 @@ from repro.runtime.process_comm import (
 )
 
 __all__ = ["ProcessExecutor", "partition_ranks"]
+
+logger = logging.getLogger(__name__)
 
 # Registering/unregistering with multiprocessing's resource tracker takes
 # a process-wide RLock.  With fork workers, a child forked by one thread
@@ -133,6 +138,11 @@ def _worker_main(
     from repro.data import DiffractionStore
 
     _reset_child_tracker_lock()
+    # Worker-lifetime recorder: the engine binds it at construction, so
+    # every op span / fft counter lands here and ships home with each
+    # step report (the scope ends with the process; no __exit__ needed).
+    tel = _obs.Telemetry() if plan.telemetry else _obs.NULL_TELEMETRY
+    _obs.activate(tel).__enter__()
     segments: List[shared_memory.SharedMemory] = []
     engine = None
     worker_store = None
@@ -210,6 +220,10 @@ def _worker_main(
                 },
                 "probe": engine.current_probe(),
             }
+            if tel.enabled:
+                # Piggyback this step's spans/counters on the report —
+                # the same seam the comm's event accounting rides.
+                report["obs"] = tel.drain()
             results.put(("iter", worker_index, report))
     except BaseException:
         try:
@@ -248,6 +262,9 @@ class _ProcessSession(ExecutionSession):
     ) -> None:
         decomp = plan.decomp
         self._plan = plan
+        # Parent-side recorder: receives each worker's drained spans
+        # plus the parent's own dispatch/collect accounting.
+        self._obs = _obs.current()
         self._n_ranks = decomp.n_ranks
         self._timeout = float(timeout)
         self._refine_probe = plan.refine_probe
@@ -336,6 +353,11 @@ class _ProcessSession(ExecutionSession):
             }
             self._probe: Optional[np.ndarray] = None
             self._collect("ready")
+            logger.info(
+                "process session up: %d worker(s) over %d rank(s), "
+                "start method %s",
+                n_workers, self._n_ranks, start_method,
+            )
         except BaseException:
             self.close()
             raise
@@ -377,9 +399,20 @@ class _ProcessSession(ExecutionSession):
     def step(self) -> float:
         if self._closed:
             raise RuntimeError("session is closed")
+        tel = self._obs
+        t0 = time.perf_counter() if tel.enabled else 0.0
         for control in self._controls:
             control.put("step")
         reports = self._collect("iter")
+        if tel.enabled:
+            # The parent's whole wait for the worker fleet — dispatch
+            # to last report.  The gap between this and the merged
+            # per-rank engine spans *is* the process-executor overhead
+            # ROADMAP item 4 asks about.
+            tel.add({
+                "runtime.steps": 1,
+                "runtime.collect.seconds": time.perf_counter() - t0,
+            })
         costs: Dict[int, float] = {}
         for w, report in enumerate(reports):
             costs.update(report["costs"])
@@ -387,6 +420,9 @@ class _ProcessSession(ExecutionSession):
             self._peaks.update(report["peaks"])
             if report["probe"] is not None:
                 self._probe = report["probe"]
+            obs_payload = report.get("obs")
+            if obs_payload is not None and tel.enabled:
+                tel.ingest(obs_payload)
         # Rank-ordered summation — float-identical to the serial
         # engine's iteration_cost().
         return sum(costs[r] for r in range(self._n_ranks))

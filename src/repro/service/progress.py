@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Iterator, List, Optional, Union
 
 from repro.core.observers import IterationEvent
+from repro.obs import telemetry as _obs
 
 __all__ = ["ProgressUpdate", "ProgressStream", "read_progress"]
 
@@ -36,7 +37,11 @@ class ProgressUpdate:
 
     ``iteration`` is 1-based and global across resumed legs;
     ``iter_per_s``/``eta_s`` are measured over the current leg (the only
-    wall-clock this process observed).
+    wall-clock this process observed).  ``backend``/``dtype`` echo the
+    pinned compute stack of the job's config and ``phase`` is the most
+    recent telemetry span label (``None`` when tracing is off) — all
+    three default to ``None`` so pre-observability ``progress.json``
+    mirrors still parse.
     """
 
     job_id: str
@@ -46,6 +51,9 @@ class ProgressUpdate:
     elapsed_s: float
     iter_per_s: float
     eta_s: float
+    backend: Optional[str] = None
+    dtype: Optional[str] = None
+    phase: Optional[str] = None
 
     @property
     def fraction(self) -> float:
@@ -68,6 +76,10 @@ class ProgressStream:
     mirror_path:
         Optional JSON file updated atomically with the latest update,
         so other processes can poll the run.
+    backend / dtype:
+        Pinned compute stack stamped on every update (the service passes
+        the job config's resolved names so ``jobs --watch`` can show
+        *where* a run is computing without opening the archive).
     """
 
     def __init__(
@@ -76,11 +88,15 @@ class ProgressStream:
         total: int,
         offset: int = 0,
         mirror_path: Optional[Union[str, Path]] = None,
+        backend: Optional[str] = None,
+        dtype: Optional[str] = None,
     ) -> None:
         self.job_id = job_id
         self.total = total
         self.offset = offset
         self.mirror_path = Path(mirror_path) if mirror_path else None
+        self.backend = backend
+        self.dtype = dtype
         self._updates: List[ProgressUpdate] = []
         self._cond = threading.Condition()
         self._closed = False
@@ -91,6 +107,7 @@ class ProgressStream:
         rate = leg_done / event.elapsed_s if event.elapsed_s > 0 else 0.0
         done = self.offset + leg_done
         remaining = max(self.total - done, 0)
+        tel = _obs.current()
         update = ProgressUpdate(
             job_id=self.job_id,
             iteration=done,
@@ -99,6 +116,9 @@ class ProgressStream:
             elapsed_s=float(event.elapsed_s),
             iter_per_s=rate,
             eta_s=remaining / rate if rate > 0 else float("inf"),
+            backend=self.backend,
+            dtype=self.dtype,
+            phase=tel.phase_label() if tel.enabled else None,
         )
         with self._cond:
             self._updates.append(update)

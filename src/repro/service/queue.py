@@ -19,8 +19,9 @@ nothing about job records or states.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 __all__ = ["JobQueue", "QueueClosedError"]
 
@@ -36,6 +37,9 @@ class _Entry:
     item: Any
     #: Times this entry was skipped in favour of a later arrival.
     passed_over: int = field(default=0)
+    #: perf_counter at enqueue — telemetry only, never scheduling
+    #: (ordering stays timestamp-free by design, see module docstring).
+    enqueued_at: float = field(default=0.0)
 
     def effective_priority(self, age_after: int) -> int:
         return self.priority + self.passed_over // age_after
@@ -61,14 +65,24 @@ class JobQueue:
         self._seq = 0
         self._closed = False
         self._unfinished = 0
+        # Lifetime wait-vs-run telemetry (see stats()).
+        self._puts = 0
+        self._gets = 0
+        self._queued_seconds = 0.0
 
     def put(self, item: Any, priority: int = 0) -> None:
         """Enqueue ``item`` at ``priority`` (higher dequeues first)."""
         with self._cond:
             if self._closed:
                 raise QueueClosedError("queue is closed")
-            self._entries.append(_Entry(int(priority), self._seq, item))
+            self._entries.append(
+                _Entry(
+                    int(priority), self._seq, item,
+                    enqueued_at=time.perf_counter(),
+                )
+            )
             self._seq += 1
+            self._puts += 1
             self._cond.notify()
 
     def get(self, timeout: Optional[float] = None) -> Optional[Any]:
@@ -101,6 +115,8 @@ class JobQueue:
                 if entry.seq < best.seq:
                     entry.passed_over += 1
             self._unfinished += 1
+            self._gets += 1
+            self._queued_seconds += time.perf_counter() - best.enqueued_at
             return best.item
 
     def task_done(self) -> None:
@@ -128,6 +144,17 @@ class JobQueue:
     def __len__(self) -> int:
         with self._cond:
             return len(self._entries)
+
+    def stats(self) -> Dict[str, float]:
+        """Lifetime wait-vs-run telemetry: items enqueued/dequeued and
+        total seconds items sat queued before a worker picked them up
+        (the queue-side half of the service's wait-vs-run split)."""
+        with self._cond:
+            return {
+                "puts": self._puts,
+                "gets": self._gets,
+                "queued_seconds": self._queued_seconds,
+            }
 
     def snapshot(self) -> List[Any]:
         """Queued items in current dequeue order (for status listings)."""

@@ -35,6 +35,8 @@ registry's ``acquire_backend``/``release_backend`` pair exists for.
 
 from __future__ import annotations
 
+import json
+import logging
 import os
 import threading
 import time
@@ -60,12 +62,15 @@ from repro.backend.base import (
 from repro.core.observers import IterationEvent
 from repro.core.reconstructor import ReconstructionResult
 from repro.io.storage import ResultArchive, load_result, save_result
+from repro.obs import telemetry as _obs
 from repro.service import jobs as jobstore
 from repro.service.jobs import JobError, JobRecord, JobState
 from repro.service.progress import ProgressStream
 from repro.service.queue import JobQueue
 
 __all__ = ["ReconstructionService", "JobHandle"]
+
+logger = logging.getLogger(__name__)
 
 
 class _LegInterrupted(Exception):
@@ -239,6 +244,10 @@ class ReconstructionService:
         ]
         for thread in self._threads:
             thread.start()
+        logger.info(
+            "service up: root=%s workers=%d checkpoint_every=%s",
+            self.root, workers, checkpoint_every,
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle API
@@ -259,6 +268,10 @@ class ReconstructionService:
         with self._cond:
             self._stats["submitted"] += 1
         self._queue.put(record.job_id, priority=record.priority)
+        logger.info(
+            "job %s: submitted (solver=%s, priority=%d)",
+            record.job_id, record.config.get("solver"), record.priority,
+        )
         return JobHandle(self, record.job_id)
 
     def status(self, job_id: str) -> str:
@@ -306,6 +319,10 @@ class ReconstructionService:
             self._requests[job_id] = {
                 "action": action, "at_iteration": at_iteration,
             }
+        logger.info(
+            "job %s: %s requested (at_iteration=%s)",
+            job_id, action, at_iteration,
+        )
 
     def resume(self, job_id: str) -> JobHandle:
         """Requeue a ``PAUSED``/``CANCELLED``/``FAILED`` job from its
@@ -314,6 +331,10 @@ class ReconstructionService:
         with self._cond:
             self._requests.pop(job_id, None)
         self._queue.put(record.job_id, priority=record.priority)
+        logger.info(
+            "job %s: resumed from iteration %d (leg %d)",
+            job_id, record.iterations_done, record.resumes,
+        )
         return JobHandle(self, job_id)
 
     def wait(self, job_id: str, timeout: Optional[float] = None) -> str:
@@ -434,6 +455,7 @@ class ReconstructionService:
                 self._queue.put(job_id, priority=record.priority)
                 with self._cond:
                     self._stats["recovered"] += 1
+                logger.info("job %s: recovered from queue", job_id)
             elif record.state == JobState.RUNNING:
                 stale = jobstore.latest_checkpoint(self.root, job_id)
                 if stale is not None:
@@ -446,6 +468,11 @@ class ReconstructionService:
                 self._queue.put(job_id, priority=record.priority)
                 with self._cond:
                     self._stats["recovered"] += 1
+                logger.info(
+                    "job %s: recovered RUNNING job from crashed "
+                    "predecessor (checkpoint=%s)",
+                    job_id, stale.name if stale is not None else None,
+                )
 
     # ------------------------------------------------------------------
     # Worker side
@@ -484,10 +511,28 @@ class ReconstructionService:
                     self._running.discard(job_id)
                     self._cond.notify_all()
 
-    def _settle(self, record: JobRecord, state: str, counter: str) -> None:
+    def _settle(
+        self,
+        record: JobRecord,
+        state: str,
+        counter: str,
+        tel: Optional["_obs.Telemetry"] = None,
+    ) -> None:
         record.state = state
         record.finished_at = time.time()
         jobstore.save_record(self.root, record)
+        # Before waiters are notified, so a client that saw the settled
+        # state always finds telemetry.json in the job directory.
+        self._write_job_telemetry(record, tel)
+        if state == JobState.FAILED:
+            logger.warning(
+                "job %s: settled FAILED: %s",
+                record.job_id,
+                (record.error or "").strip().splitlines()[-1]
+                if record.error else "unknown error",
+            )
+        else:
+            logger.info("job %s: settled %s", record.job_id, state)
         with self._cond:
             self._requests.pop(record.job_id, None)
             self._stats[counter] += 1
@@ -533,6 +578,7 @@ class ReconstructionService:
         # while the record stays RUNNING on disk.
         directory = jobstore.job_dir(self.root, job_id)
         stream: Optional[ProgressStream] = None
+        tel: Optional[_obs.Telemetry] = None
         try:
             base_config = record.reconstruction_config()
             # Pin ambient (None) backend/dtype to the concrete names
@@ -562,12 +608,36 @@ class ReconstructionService:
                 jobstore.save_record(self.root, record)
             offset = record.iterations_done
             remaining = record.iterations_total - offset
+            logger.info(
+                "job %s: leg starting on %s/%s (iterations %d..%d of %d)",
+                job_id, backend_name, dtype_name,
+                offset + 1, record.iterations_total,
+                record.iterations_total,
+            )
+
+            # One recorder per leg, activated for the whole reconstruct
+            # call, so engine/store/runtime spans — including per-rank
+            # spans shipped back from worker processes — land on this
+            # job's timeline and nobody else's (the recorder is
+            # thread-local; concurrent jobs on other worker threads
+            # each get their own).
+            if _obs.resolve_telemetry(base_config.telemetry):
+                tel = _obs.Telemetry()
+                # The queue-side half of wait-vs-run: how long the job
+                # sat queued before this leg picked it up.
+                tel.add({
+                    "queue.wait.seconds": max(
+                        record.started_at - record.submitted_at, 0.0
+                    ),
+                })
 
             stream = ProgressStream(
                 job_id,
                 record.iterations_total,
                 offset=offset,
                 mirror_path=directory / "progress.json",
+                backend=backend_name,
+                dtype=dtype_name,
             )
             with self._cond:
                 self._progress[job_id] = stream
@@ -603,21 +673,31 @@ class ReconstructionService:
                 dataset = load_dataset(
                     jobstore.dataset_path_of(self.root, record)
                 )
-                leg = reconstruct(dataset, leg_config, observers=observers)
+                if tel is not None:
+                    with _obs.activate(tel):
+                        leg = reconstruct(
+                            dataset, leg_config, observers=observers
+                        )
+                else:
+                    leg = reconstruct(dataset, leg_config, observers=observers)
             finally:
                 release_backend(backend_name)
         except _LegInterrupted as stop:
+            logger.info(
+                "job %s: leg interrupted (%s) at checkpoint %s",
+                job_id, stop.action, stop.checkpoint.name,
+            )
             jobstore.consolidate_from_archive(
                 self.root, record, stop.checkpoint
             )
             jobstore.clear_control(self.root, job_id)
             if stop.action == "pause":
-                self._settle(record, JobState.PAUSED, "paused")
+                self._settle(record, JobState.PAUSED, "paused", tel=tel)
             else:
-                self._settle(record, JobState.CANCELLED, "cancelled")
+                self._settle(record, JobState.CANCELLED, "cancelled", tel=tel)
         except Exception:
             record.error = traceback.format_exc(limit=8)
-            self._settle(record, JobState.FAILED, "failed")
+            self._settle(record, JobState.FAILED, "failed", tel=tel)
         else:
             final = self._merged_result(record, leg)
             save_result(
@@ -630,10 +710,48 @@ class ReconstructionService:
                 int(p) for p in final.peak_memory_per_rank
             ]
             jobstore.clear_control(self.root, job_id)
-            self._settle(record, JobState.DONE, "done")
+            self._settle(record, JobState.DONE, "done", tel=tel)
         finally:
             if stream is not None:
                 stream.close()
+
+    def _write_job_telemetry(
+        self, record: JobRecord, tel: Optional["_obs.Telemetry"]
+    ) -> None:
+        """Drop ``telemetry.json`` in the settled job's directory: the
+        wait-vs-run split read from the record's own timestamps (always
+        available, even for jobs cancelled while queued) plus the leg's
+        aggregated span/counter summary when the leg was traced.  Best-
+        effort — an unwritable job dir must not unsettle a settled job.
+        """
+        directory = jobstore.job_dir(self.root, record.job_id)
+        wait_s = None
+        run_s = None
+        if record.started_at is not None:
+            wait_s = max(record.started_at - record.submitted_at, 0.0)
+            if record.finished_at is not None:
+                run_s = max(record.finished_at - record.started_at, 0.0)
+        elif record.finished_at is not None:
+            # Never ran: the whole lifetime was queue wait.
+            wait_s = max(record.finished_at - record.submitted_at, 0.0)
+        payload = {
+            "schema": "repro-job-telemetry/1",
+            "job_id": record.job_id,
+            "state": record.state,
+            "queue": {"wait_s": wait_s, "run_s": run_s},
+            "summary": tel.summary() if tel is not None else None,
+        }
+        try:
+            tmp = directory / "telemetry.json.tmp"
+            tmp.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
+            os.replace(tmp, directory / "telemetry.json")
+        except OSError:
+            logger.debug(
+                "job %s: telemetry.json write failed",
+                record.job_id, exc_info=True,
+            )
 
     @staticmethod
     def _merged_result(
@@ -653,4 +771,8 @@ class ReconstructionService:
             peak_memory_per_rank=peaks,
             decomposition=leg.decomposition,
             probe=leg.probe,
+            # Spans are per-leg wall-clock — only the final leg's are
+            # attached (earlier legs' live on in their checkpoints'
+            # telemetry.json, written at each settle).
+            telemetry=leg.telemetry,
         )

@@ -18,15 +18,33 @@ out (``np.fft`` alone silently upcasts to ``complex128``).
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from repro.backend.base import ArrayBackend, resolve_backend
+from repro.obs import telemetry as _obs
 
 __all__ = ["fft2c", "ifft2c", "fftfreq_grid"]
 
 _BackendSpec = Union[str, ArrayBackend, None]
+
+
+def _count_fft(tel, kind: str, backend_name: str, shape, dt: float) -> None:
+    """Accumulate one transform into the active recorder: total count
+    and seconds, the per-backend split, and a batch-shape histogram."""
+    batch = shape[0] if len(shape) > 2 else 1
+    tel.add(
+        {
+            "fft.calls": 1,
+            "fft.seconds": dt,
+            f"fft.{kind}.calls": 1,
+            f"fft.{backend_name}.calls": 1,
+            f"fft.{backend_name}.seconds": dt,
+            f"fft.batch[{batch}x{shape[-2]}x{shape[-1]}].calls": 1,
+        }
+    )
 
 
 def fft2c(field: np.ndarray, backend: _BackendSpec = None) -> np.ndarray:
@@ -38,22 +56,40 @@ def fft2c(field: np.ndarray, backend: _BackendSpec = None) -> np.ndarray:
     matches input precision.
     """
     b = resolve_backend(backend)
-    # norm is passed explicitly: unitarity is *this* module's invariant,
-    # never delegated to a backend's default.
-    return np.fft.fftshift(
+    tel = _obs.current()
+    if not tel.enabled:
+        # norm is passed explicitly: unitarity is *this* module's
+        # invariant, never delegated to a backend's default.
+        return np.fft.fftshift(
+            b.fft2(np.fft.ifftshift(field, axes=(-2, -1)), norm="ortho"),
+            axes=(-2, -1),
+        )
+    t0 = time.perf_counter()
+    out = np.fft.fftshift(
         b.fft2(np.fft.ifftshift(field, axes=(-2, -1)), norm="ortho"),
         axes=(-2, -1),
     )
+    _count_fft(tel, "fft2", b.name, field.shape, time.perf_counter() - t0)
+    return out
 
 
 def ifft2c(field: np.ndarray, backend: _BackendSpec = None) -> np.ndarray:
     """Centered unitary 2-D inverse FFT over the last two axes (adjoint
     of :func:`fft2c`)."""
     b = resolve_backend(backend)
-    return np.fft.fftshift(
+    tel = _obs.current()
+    if not tel.enabled:
+        return np.fft.fftshift(
+            b.ifft2(np.fft.ifftshift(field, axes=(-2, -1)), norm="ortho"),
+            axes=(-2, -1),
+        )
+    t0 = time.perf_counter()
+    out = np.fft.fftshift(
         b.ifft2(np.fft.ifftshift(field, axes=(-2, -1)), norm="ortho"),
         axes=(-2, -1),
     )
+    _count_fft(tel, "ifft2", b.name, field.shape, time.perf_counter() - t0)
+    return out
 
 
 def fftfreq_grid(

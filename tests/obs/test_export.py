@@ -1,0 +1,197 @@
+"""Export paths: Chrome trace JSON, the stats table, and load_stats.
+
+The acceptance-critical case lives here: a process-executor run must
+produce one merged multi-rank trace whose per-rank timelines are
+monotonic — worker spans ship back through the step report and must
+not invert under merging.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.reconstructor import GradientDecompositionReconstructor
+from repro.io.storage import load_result, save_result
+from repro.obs.export import (
+    chrome_trace,
+    format_stats_table,
+    load_stats,
+    write_chrome_trace,
+)
+from repro.obs.telemetry import Telemetry, activate
+
+
+def _sample_telemetry():
+    tel = Telemetry()
+    with tel.span("run.iteration", iteration=0):
+        with tel.span("engine.compute", rank=0):
+            pass
+        with tel.span("engine.compute", rank=1):
+            pass
+    tel.add({"fft.calls": 4.0, "fft.seconds": 0.01})
+    return tel
+
+
+class TestChromeTrace:
+    def test_round_trips_through_json_with_valid_fields(self):
+        tel = _sample_telemetry()
+        payload = json.loads(json.dumps(chrome_trace(tel)))
+        events = payload["traceEvents"]
+        assert events, "trace must not be empty"
+        for event in events:
+            assert event["ph"] in ("X", "M")
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            assert event["ts"] >= 0
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+
+    def test_rank_rows_and_run_row(self):
+        payload = chrome_trace(_sample_telemetry())
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names[0] == "run"
+        assert names[1] == "rank 0"
+        assert names[2] == "rank 1"
+
+    def test_span_args_survive(self):
+        payload = chrome_trace(_sample_telemetry())
+        iteration_events = [
+            e for e in payload["traceEvents"]
+            if e.get("name") == "run.iteration"
+        ]
+        assert iteration_events[0]["args"] == {"iteration": 0}
+
+    def test_write_chrome_trace(self, tmp_path):
+        out = write_chrome_trace(tmp_path / "trace.json", _sample_telemetry())
+        payload = json.loads(out.read_text())
+        assert payload["otherData"]["schema"] == "repro-trace/1"
+
+
+class TestMultiRankMerge:
+    """Process-executor rank spans merge without clock-skew inversions."""
+
+    @pytest.fixture(scope="class")
+    def traced_process_run(self, small_dataset, small_lr):
+        tel = Telemetry()
+        with activate(tel):
+            result = GradientDecompositionReconstructor(
+                executor="process", backend="numpy", n_ranks=4,
+                runtime_workers=2, iterations=2, lr=small_lr,
+                mode="synchronous", halo="exact",
+            ).reconstruct(small_dataset)
+        return tel, result
+
+    def test_all_ranks_present(self, traced_process_run):
+        tel, _ = traced_process_run
+        assert set(tel.summary()["ranks"]) == {"0", "1", "2", "3"}
+
+    def test_per_rank_timestamps_monotonic(self, traced_process_run):
+        tel, _ = traced_process_run
+        payload = chrome_trace(tel)
+        starts = {}
+        for event in payload["traceEvents"]:
+            if event["ph"] != "X":
+                continue
+            starts.setdefault(event["pid"], []).append(event["ts"])
+        assert len(starts) >= 5  # run row + 4 rank rows
+        for pid, series in starts.items():
+            assert series == sorted(series), (
+                f"pid {pid} timeline not monotonic — worker span merge "
+                f"reordered events"
+            )
+
+    def test_matches_serial_fingerprint(
+        self, traced_process_run, small_dataset, small_lr
+    ):
+        _, traced = traced_process_run
+        plain = GradientDecompositionReconstructor(
+            executor="serial", backend="numpy", n_ranks=4,
+            iterations=2, lr=small_lr, mode="synchronous", halo="exact",
+        ).reconstruct(small_dataset)
+        np.testing.assert_array_equal(traced.volume, plain.volume)
+        assert traced.history == plain.history
+
+
+class TestStatsTable:
+    def test_sections_render(self):
+        tel = _sample_telemetry()
+        table = format_stats_table(tel.summary())
+        assert "PHASE" in table and "SHARE" in table
+        assert "gradient" in table
+        assert "engine.compute" in table
+        assert "fft.calls" in table
+        # timing counters are folded into the breakdown, not repeated
+        assert "fft.seconds" not in table
+
+    def test_dropped_events_are_called_out(self):
+        tel = Telemetry(max_events=1)
+        for _ in range(3):
+            with tel.span("x"):
+                pass
+        assert "2 events dropped" in format_stats_table(tel.summary())
+
+
+class TestLoadStats:
+    def test_archive_round_trip(self, tmp_path, tiny_dataset, tiny_lr):
+        tel = Telemetry()
+        with activate(tel):
+            result = GradientDecompositionReconstructor(
+                backend="numpy", n_ranks=2, iterations=2, lr=tiny_lr,
+            ).reconstruct(tiny_dataset)
+        result.telemetry = tel.summary()
+        path = tmp_path / "result.npz"
+        save_result(path, result)
+        summary = load_stats(path)
+        assert summary == result.telemetry
+        assert load_result(path).telemetry == result.telemetry
+
+    def test_archive_without_telemetry_raises(
+        self, tmp_path, tiny_dataset, tiny_lr
+    ):
+        result = GradientDecompositionReconstructor(
+            backend="numpy", n_ranks=2, iterations=1, lr=tiny_lr,
+        ).reconstruct(tiny_dataset)
+        path = tmp_path / "plain.npz"
+        save_result(path, result)
+        with pytest.raises(ValueError, match="no telemetry"):
+            load_stats(path)
+
+    def test_job_dir_unwraps_and_adds_queue_counters(self, tmp_path):
+        tel = _sample_telemetry()
+        (tmp_path / "telemetry.json").write_text(json.dumps({
+            "schema": "repro-job-telemetry/1",
+            "job_id": "j-test",
+            "state": "DONE",
+            "queue": {"wait_s": 1.5, "run_s": 2.5},
+            "summary": tel.summary(),
+        }))
+        summary = load_stats(tmp_path)
+        assert summary["counters"]["job.queue_wait_s"] == 1.5
+        assert summary["counters"]["job.run_s"] == 2.5
+        assert "job.queue_wait_s" in format_stats_table(summary)
+
+    def test_untraced_job_dir_raises_with_guidance(self, tmp_path):
+        (tmp_path / "telemetry.json").write_text(json.dumps({
+            "schema": "repro-job-telemetry/1",
+            "job_id": "j-test",
+            "state": "DONE",
+            "queue": {"wait_s": 0.1, "run_s": 0.2},
+            "summary": None,
+        }))
+        with pytest.raises(ValueError, match="without tracing"):
+            load_stats(tmp_path)
+
+    def test_dir_without_telemetry_file_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="telemetry.json"):
+            load_stats(tmp_path)
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_stats(tmp_path / "nope.npz")

@@ -1,0 +1,84 @@
+"""Telemetry must never change the numbers.
+
+Tracing is a read-out, not a participant: a traced run must produce
+bit-identical results to an untraced one, and the ``telemetry`` config
+knob must be invisible to ``fingerprint()`` so cached goldens and
+checkpoint resume keys keep matching.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ReconstructionConfig, reconstruct
+from repro.obs.telemetry import ENV_TRACE, Telemetry, activate
+
+from tests.helpers import result_fingerprint
+
+
+def _config(**overrides):
+    base = dict(
+        solver="gd",
+        solver_params={"iterations": 3, "lr": 0.02},
+        backend="numpy",
+        dtype="complex128",
+    )
+    base.update(overrides)
+    return ReconstructionConfig(**base)
+
+
+class TestRunInvariance:
+    def test_traced_run_matches_untraced(self, tiny_dataset):
+        plain = reconstruct(tiny_dataset, config=_config())
+        traced = reconstruct(tiny_dataset, config=_config(telemetry=True))
+        assert result_fingerprint(traced) == result_fingerprint(plain)
+        assert traced.telemetry is not None
+        assert plain.telemetry is None
+
+    def test_env_driven_tracing_matches_untraced(self, tiny_dataset, monkeypatch):
+        monkeypatch.delenv(ENV_TRACE, raising=False)
+        plain = reconstruct(tiny_dataset, config=_config())
+        monkeypatch.setenv(ENV_TRACE, "1")
+        traced = reconstruct(tiny_dataset, config=_config())
+        assert result_fingerprint(traced) == result_fingerprint(plain)
+        assert traced.telemetry is not None
+
+    def test_ambient_recorder_matches_untraced(self, tiny_dataset):
+        plain = reconstruct(tiny_dataset, config=_config())
+        tel = Telemetry()
+        with activate(tel):
+            traced = reconstruct(tiny_dataset, config=_config())
+        assert result_fingerprint(traced) == result_fingerprint(plain)
+        # The ambient recorder's view is attached to the result too.
+        assert traced.telemetry["phases"]
+
+    def test_traced_summary_covers_engine_phases(self, tiny_dataset):
+        result = reconstruct(tiny_dataset, config=_config(telemetry=True))
+        summary = result.telemetry
+        assert "engine.compute" in summary["phases"]
+        assert summary["breakdown"]["gradient"] > 0.0
+        assert summary["counters"].get("fft.calls", 0) > 0
+
+
+class TestConfigNeutrality:
+    def test_fingerprint_ignores_telemetry(self):
+        assert _config().fingerprint() == _config(telemetry=True).fingerprint()
+        assert _config().fingerprint() == _config(telemetry=False).fingerprint()
+
+    def test_round_trips_through_dict(self):
+        config = _config(telemetry=True)
+        clone = ReconstructionConfig.from_dict(config.to_dict())
+        assert clone.telemetry is True
+        assert clone.fingerprint() == config.fingerprint()
+
+    def test_default_is_none_meaning_env_decides(self):
+        assert _config().telemetry is None
+
+    def test_with_telemetry_helper(self):
+        config = _config().with_telemetry()
+        assert config.telemetry is True
+        assert config.with_telemetry(False).telemetry is False
+
+    def test_non_bool_rejected(self):
+        with pytest.raises(ValueError, match="telemetry"):
+            _config(telemetry="yes")

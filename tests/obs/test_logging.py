@@ -1,0 +1,93 @@
+"""Logging satellite: level precedence and idempotent CLI setup."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+import repro
+from repro.obs.logconfig import (
+    ENV_LOG,
+    configure_logging,
+    resolve_log_level,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_repro_logger():
+    root = logging.getLogger("repro")
+    handlers = list(root.handlers)
+    level = root.level
+    yield
+    root.handlers[:] = handlers
+    root.setLevel(level)
+
+
+class TestResolveLogLevel:
+    def test_default_is_warning(self, monkeypatch):
+        monkeypatch.delenv(ENV_LOG, raising=False)
+        assert resolve_log_level() == logging.WARNING
+
+    def test_verbosity_steps(self, monkeypatch):
+        monkeypatch.delenv(ENV_LOG, raising=False)
+        assert resolve_log_level(verbosity=1) == logging.INFO
+        assert resolve_log_level(verbosity=2) == logging.DEBUG
+        assert resolve_log_level(verbosity=5) == logging.DEBUG
+
+    def test_explicit_beats_verbosity_and_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_LOG, "DEBUG")
+        assert resolve_log_level(explicit="ERROR", verbosity=2) == logging.ERROR
+        assert resolve_log_level(explicit="15") == 15
+
+    def test_env_beats_default_only(self, monkeypatch):
+        monkeypatch.setenv(ENV_LOG, "info")
+        assert resolve_log_level() == logging.INFO
+        assert resolve_log_level(verbosity=2) == logging.DEBUG
+
+    def test_bad_env_falls_back_instead_of_raising(self, monkeypatch):
+        monkeypatch.setenv(ENV_LOG, "chatty")
+        assert resolve_log_level() == logging.WARNING
+
+    def test_bad_explicit_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            resolve_log_level(explicit="chatty")
+
+
+class TestConfigureLogging:
+    def _cli_handlers(self):
+        return [
+            h
+            for h in logging.getLogger("repro").handlers
+            if getattr(h, "_repro_cli_handler", False)
+        ]
+
+    def test_installs_exactly_one_handler(self, monkeypatch):
+        monkeypatch.delenv(ENV_LOG, raising=False)
+        configure_logging(verbosity=1)
+        configure_logging(verbosity=2)
+        configure_logging(explicit="WARNING")
+        assert len(self._cli_handlers()) == 1
+        assert logging.getLogger("repro").level == logging.WARNING
+
+    def test_emits_to_given_stream(self, monkeypatch):
+        monkeypatch.delenv(ENV_LOG, raising=False)
+        stream = io.StringIO()
+        configure_logging(verbosity=1, stream=stream)
+        logging.getLogger("repro.obs.test").info("hello from the suite")
+        assert "hello from the suite" in stream.getvalue()
+        assert "repro.obs.test" in stream.getvalue()
+
+    def test_root_logger_left_alone(self, monkeypatch):
+        monkeypatch.delenv(ENV_LOG, raising=False)
+        before = list(logging.getLogger().handlers)
+        configure_logging(verbosity=2)
+        assert list(logging.getLogger().handlers) == before
+
+
+def test_package_root_has_null_handler():
+    """Library default: silent unless an application opts in."""
+    handlers = logging.getLogger("repro").handlers
+    assert any(isinstance(h, logging.NullHandler) for h in handlers)
+    assert repro  # the import above is what installs it

