@@ -1,0 +1,70 @@
+"""Committed-baseline support for repro-lint.
+
+A baseline grandfathers *known* findings so the lint gate can be turned
+on for a tree that is not yet clean: ``repro lint --write-baseline``
+records every current finding's key, and later runs report only
+findings **not** in the file.  Keys are ``path::rule::<stripped line
+text>`` (no line numbers), so unrelated edits that move a grandfathered
+line do not resurrect it.
+
+New violations must be *fixed* or carry an inline
+``# repro-lint: allow[rule] -- why`` pragma; the baseline is for debt
+that predates the gate, not a dumping ground for new exceptions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set, Union
+
+from repro.analysis.model import Finding
+from repro.utils.atomicio import atomic_write_json
+
+__all__ = ["DEFAULT_BASELINE_NAME", "load_baseline", "write_baseline"]
+
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+_SCHEMA = "repro-lint-baseline/1"
+
+
+def load_baseline(path: Union[str, Path]) -> Set[str]:
+    """Read a baseline file into the set of suppressed finding keys.
+
+    A missing file is an empty baseline; a malformed one is an error
+    (silently ignoring it would un-gate the build).
+    """
+    path = Path(path)
+    if not path.exists():
+        return set()
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict) or payload.get("schema") != _SCHEMA:
+        raise ValueError(
+            f"{path} is not a repro-lint baseline (expected schema "
+            f"{_SCHEMA!r})"
+        )
+    entries = payload.get("entries", [])
+    keys: Set[str] = set()
+    for entry in entries:
+        keys.add(
+            f"{entry['path']}::{entry['rule']}::{entry.get('text', '')}"
+        )
+    return keys
+
+
+def write_baseline(
+    path: Union[str, Path], findings: Iterable[Finding]
+) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count."""
+    entries: List[dict] = []
+    seen: Set[str] = set()
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        if f.baseline_key in seen:
+            continue
+        seen.add(f.baseline_key)
+        entries.append({"path": f.path, "rule": f.rule, "text": f.text})
+    atomic_write_json(
+        Path(path),
+        {"schema": _SCHEMA, "entries": entries},
+        indent=2,
+    )
+    return len(entries)

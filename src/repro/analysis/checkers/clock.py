@@ -1,0 +1,118 @@
+"""``wall-clock``: no wall-clock reads in scheduling/telemetry code.
+
+The job queue orders strictly by priority + monotonic aging and the
+telemetry clock is ``time.perf_counter`` — wall clocks (``time.time``,
+``datetime.now``) jump under NTP steps and DST, which would corrupt
+queue ordering and span durations.  Modules under ``repro/service`` and
+``repro/obs`` therefore may not call wall-clock functions at all; the
+few legitimate human-facing timestamps (job ``submitted_at`` /
+``started_at`` / ``finished_at``) carry
+``# repro-lint: allow[wall-clock]`` pragmas with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator
+
+from repro.analysis.model import Finding, ParsedFile, Project
+
+RULES = {
+    "wall-clock": (
+        "scheduling/telemetry code uses monotonic clocks only "
+        "(time.time/datetime.now are banned under repro/service and "
+        "repro/obs)"
+    ),
+}
+
+#: Path prefixes (repo-relative, posix) the rule applies to.
+SCOPES = ("src/repro/service/", "src/repro/obs/")
+
+_TIME_FUNCS = {"time", "ctime", "localtime", "gmtime", "strftime"}
+_DATETIME_FUNCS = {"now", "utcnow", "today"}
+
+HINT = (
+    "use time.perf_counter()/time.monotonic() for ordering and "
+    "durations; human-facing timestamps need "
+    "'# repro-lint: allow[wall-clock] -- <why>'"
+)
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local name → dotted origin for every import in the module."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                aliases[name.asname or name.name.split(".")[0]] = name.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for name in node.names:
+                aliases[name.asname or name.name] = (
+                    f"{node.module}.{name.name}"
+                )
+    return aliases
+
+
+def _check_file(pf: ParsedFile) -> Iterator[Finding]:
+    aliases = _import_aliases(pf.tree)
+    for node in ast.walk(pf.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        origin = None
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            base = aliases.get(func.value.id)
+            if base == "time" and func.attr in _TIME_FUNCS:
+                origin = f"time.{func.attr}"
+            elif (
+                base in ("datetime.datetime", "datetime.date")
+                and func.attr in _DATETIME_FUNCS
+            ):
+                origin = f"{base}.{func.attr}"
+            elif base == "datetime" and func.attr in _DATETIME_FUNCS:
+                # datetime.datetime accessed as datetime.<cls>.<meth> is
+                # handled below; `import datetime; datetime.now` is not
+                # valid, but guard anyway.
+                origin = f"datetime.{func.attr}"
+        elif isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Attribute
+        ):
+            # datetime.datetime.now() with `import datetime`
+            inner = func.value
+            if (
+                isinstance(inner.value, ast.Name)
+                and aliases.get(inner.value.id) == "datetime"
+                and inner.attr in ("datetime", "date")
+                and func.attr in _DATETIME_FUNCS
+            ):
+                origin = f"datetime.{inner.attr}.{func.attr}"
+        elif isinstance(func, ast.Name):
+            base = aliases.get(func.id)
+            if base in (
+                "time.time",
+                "time.ctime",
+                "time.localtime",
+                "time.gmtime",
+                "time.strftime",
+            ):
+                origin = base
+        if origin is not None:
+            yield Finding(
+                path=pf.rel,
+                line=node.lineno,
+                rule="wall-clock",
+                message=(
+                    f"{origin}() reads the wall clock inside "
+                    "scheduling/telemetry code"
+                ),
+                hint=HINT,
+            )
+
+
+def check(project: Project) -> Iterator[Finding]:
+    for pf in project.files:
+        if pf.tree is None or not pf.rel.startswith(SCOPES):
+            continue
+        yield from _check_file(pf)

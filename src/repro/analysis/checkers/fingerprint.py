@@ -1,0 +1,187 @@
+"""``fingerprint-knob``: every config field declares its fingerprint role.
+
+:meth:`repro.api.config.ReconstructionConfig.fingerprint` is the
+identity resume validation trusts — a checkpoint refuses to seed a run
+with a different fingerprint.  A new config field that nobody sorts
+into the numeric/neutral declaration is a silent correctness hole: it
+would neither perturb the fingerprint nor be proven not to need to.
+This rule mechanically requires every ``ReconstructionConfig`` field to
+appear in **exactly one** of ``_FINGERPRINT_NUMERIC_FIELDS`` and
+``_FINGERPRINT_NEUTRAL_FIELDS`` in ``repro/api/config.py``, and every
+member of those sets to be a real field.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.analysis.model import Finding, ParsedFile, Project
+
+RULES = {
+    "fingerprint-knob": (
+        "every ReconstructionConfig field is declared in exactly one of "
+        "_FINGERPRINT_NUMERIC_FIELDS / _FINGERPRINT_NEUTRAL_FIELDS"
+    ),
+}
+
+CONFIG_MODULE = "repro.api.config"
+CONFIG_CLASS = "ReconstructionConfig"
+NUMERIC_SET = "_FINGERPRINT_NUMERIC_FIELDS"
+NEUTRAL_SET = "_FINGERPRINT_NEUTRAL_FIELDS"
+
+HINT = (
+    f"add the field name to {NUMERIC_SET} (it changes the solver "
+    f"arithmetic / compute stack) or {NEUTRAL_SET} (provably "
+    "fingerprint-identical) in repro/api/config.py"
+)
+
+
+def _literal_strings(node: ast.AST) -> Optional[Set[str]]:
+    """The string members of a frozenset({...}) / {...} literal."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else ""
+        )
+        if name != "frozenset" or len(node.args) != 1:
+            return None
+        node = node.args[0]
+    if isinstance(node, (ast.Set, ast.List, ast.Tuple)):
+        out = set()
+        for elt in node.elts:
+            if not (
+                isinstance(elt, ast.Constant)
+                and isinstance(elt.value, str)
+            ):
+                return None
+            out.add(elt.value)
+        return out
+    return None
+
+
+def _find_sets(pf: ParsedFile) -> Dict[str, tuple]:
+    """Map set-name → (members, lineno) for the fingerprint frozensets."""
+    found: Dict[str, tuple] = {}
+    for node in pf.tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if target.id in (NUMERIC_SET, NEUTRAL_SET):
+            members = _literal_strings(node.value)
+            found[target.id] = (members, node.lineno)
+    return found
+
+
+def _config_fields(pf: ParsedFile) -> Dict[str, int]:
+    """Field name → lineno for the config dataclass's declared fields."""
+    fields: Dict[str, int] = {}
+    for node in pf.tree.body:
+        if (
+            isinstance(node, ast.ClassDef)
+            and node.name == CONFIG_CLASS
+        ):
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    fields[stmt.target.id] = stmt.lineno
+    return fields
+
+
+def check(project: Project) -> Iterator[Finding]:
+    pf = project.module(CONFIG_MODULE)
+    if pf is None or pf.tree is None:
+        return
+    sets = _find_sets(pf)
+    fields = _config_fields(pf)
+    for set_name in (NUMERIC_SET, NEUTRAL_SET):
+        if set_name not in sets:
+            yield Finding(
+                path=pf.rel,
+                line=1,
+                rule="fingerprint-knob",
+                message=(
+                    f"{set_name} is not declared as a string-literal "
+                    "frozenset in repro/api/config.py"
+                ),
+                hint=HINT,
+            )
+            return
+        if sets[set_name][0] is None:
+            yield Finding(
+                path=pf.rel,
+                line=sets[set_name][1],
+                rule="fingerprint-knob",
+                message=(
+                    f"{set_name} must be a literal frozenset of field-"
+                    "name strings (the linter reads it statically)"
+                ),
+                hint=HINT,
+            )
+            return
+    numeric, numeric_line = sets[NUMERIC_SET]
+    neutral, neutral_line = sets[NEUTRAL_SET]
+    if not fields:
+        yield Finding(
+            path=pf.rel,
+            line=1,
+            rule="fingerprint-knob",
+            message=f"class {CONFIG_CLASS} with annotated fields not found",
+            hint=HINT,
+        )
+        return
+    for name, lineno in fields.items():
+        in_numeric = name in numeric
+        in_neutral = name in neutral
+        if in_numeric and in_neutral:
+            yield Finding(
+                path=pf.rel,
+                line=lineno,
+                rule="fingerprint-knob",
+                message=(
+                    f"config field {name!r} appears in both "
+                    f"{NUMERIC_SET} and {NEUTRAL_SET}"
+                ),
+                hint=HINT,
+            )
+        elif not in_numeric and not in_neutral:
+            yield Finding(
+                path=pf.rel,
+                line=lineno,
+                rule="fingerprint-knob",
+                message=(
+                    f"config field {name!r} is in neither "
+                    f"{NUMERIC_SET} nor {NEUTRAL_SET} — its fingerprint "
+                    "role is undeclared"
+                ),
+                hint=HINT,
+            )
+    for member in sorted(numeric - set(fields)):
+        yield Finding(
+            path=pf.rel,
+            line=numeric_line,
+            rule="fingerprint-knob",
+            message=(
+                f"{NUMERIC_SET} names {member!r}, which is not a "
+                f"{CONFIG_CLASS} field"
+            ),
+            hint=HINT,
+        )
+    for member in sorted(neutral - set(fields)):
+        yield Finding(
+            path=pf.rel,
+            line=neutral_line,
+            rule="fingerprint-knob",
+            message=(
+                f"{NEUTRAL_SET} names {member!r}, which is not a "
+                f"{CONFIG_CLASS} field"
+            ),
+            hint=HINT,
+        )

@@ -1,0 +1,65 @@
+"""``import-guard``: optional heavyweight deps never import eagerly.
+
+``cupy``, ``h5py`` and ``mpi4py`` are deliberately not install
+requirements — every module must stay importable on a box without them.
+Imports of these packages must therefore be wrapped in ``try/except``
+(the availability-probe idiom, see ``repro.backend.cupy_backend``) or
+live inside a function body so they only execute when the optional path
+is actually taken.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.model import Finding, Project
+
+RULES = {
+    "import-guard": (
+        "optional dependencies (cupy, h5py, mpi4py) are imported only "
+        "under try/except or inside function bodies"
+    ),
+}
+
+GUARDED_PACKAGES = frozenset({"cupy", "h5py", "mpi4py"})
+
+HINT = (
+    "wrap the import in try/except ImportError (module-level "
+    "availability probe) or move it into the function that needs it"
+)
+
+
+def check(project: Project) -> Iterator[Finding]:
+    for pf in project.files:
+        if pf.tree is None:
+            continue
+        for node in ast.walk(pf.tree):
+            if isinstance(node, ast.Import):
+                roots = [n.name.split(".")[0] for n in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                roots = [node.module.split(".")[0]]
+            else:
+                continue
+            hits = sorted(set(roots) & GUARDED_PACKAGES)
+            if not hits:
+                continue
+            guarded = any(
+                isinstance(
+                    anc,
+                    (ast.Try, ast.FunctionDef, ast.AsyncFunctionDef),
+                )
+                for anc in pf.ancestors(node)
+            )
+            if guarded:
+                continue
+            yield Finding(
+                path=pf.rel,
+                line=node.lineno,
+                rule="import-guard",
+                message=(
+                    f"unguarded module-level import of optional "
+                    f"dependency {', '.join(hits)}"
+                ),
+                hint=HINT,
+            )

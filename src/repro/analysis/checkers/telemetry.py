@@ -1,0 +1,183 @@
+"""``telemetry-guard``: recording sites guard on ``.enabled`` first.
+
+The telemetry contract (see :mod:`repro.obs.telemetry`) is that a
+disabled run pays *nothing*: every instrumented hot path checks
+``current().enabled`` before building span arguments or counter dicts.
+A ``tel.span(...)`` / ``tel.count(...)`` / ``tel.add(...)`` on a
+``current()``-derived recorder that is not under an ``.enabled`` guard
+silently taxes every un-traced run.
+
+Recorders that arrive as *function parameters* are exempt (the caller
+guarded — the ``_count_fft`` helper pattern), as are recorders built
+directly via ``Telemetry()`` (a constructed recorder is enabled by
+construction).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.analysis.model import Finding, ParsedFile, Project
+
+RULES = {
+    "telemetry-guard": (
+        "span/count/add calls on a current()-derived recorder are "
+        "guarded by `.enabled` (early return or enclosing if)"
+    ),
+}
+
+_RECORD_ATTRS = {"span", "count", "add"}
+
+HINT = (
+    "guard the site: `if tel.enabled:` around it, or `if not "
+    "tel.enabled: return` at function entry — disabled runs must pay "
+    "zero telemetry cost"
+)
+
+
+def _assigned_receivers(fn: ast.AST) -> Set[str]:
+    """Receiver texts bound from ``current()`` within ``fn``."""
+    out: Set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign) or not isinstance(
+            node.value, ast.Call
+        ):
+            continue
+        func = node.value.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else ""
+        )
+        if name != "current":
+            continue
+        for target in node.targets:
+            if isinstance(target, (ast.Name, ast.Attribute)):
+                out.add(ast.unparse(target))
+    return out
+
+
+def _constructed_receivers(fn: ast.AST) -> Set[str]:
+    out: Set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign) or not isinstance(
+            node.value, ast.Call
+        ):
+            continue
+        func = node.value.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else ""
+        )
+        if name in ("Telemetry", "NullTelemetry"):
+            for target in node.targets:
+                if isinstance(target, (ast.Name, ast.Attribute)):
+                    out.add(ast.unparse(target))
+    return out
+
+
+def _param_names(fn: ast.AST) -> Set[str]:
+    args = fn.args
+    names = {a.arg for a in args.args + args.kwonlyargs + args.posonlyargs}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+def _guard_tests(fn: ast.AST) -> List[ast.AST]:
+    """Every If/IfExp/While test node inside ``fn``."""
+    return [
+        node.test
+        for node in ast.walk(fn)
+        if isinstance(node, (ast.If, ast.IfExp, ast.While))
+    ]
+
+
+def _is_guarded(
+    pf: ParsedFile, fn: ast.AST, call: ast.Call, recv: str
+) -> bool:
+    needle = f"{recv}.enabled"
+    # (a) an enclosing if/ifexp/while mentions `<recv>.enabled`
+    for anc in pf.ancestors(call):
+        if anc is fn:
+            break
+        if isinstance(anc, (ast.If, ast.IfExp, ast.While)):
+            if needle in ast.unparse(anc.test):
+                return True
+    # (b) an earlier `if not <recv>.enabled:` early exit in the function
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.If) or node.lineno >= call.lineno:
+            continue
+        test_src = ast.unparse(node.test)
+        if needle not in test_src or "not " not in test_src:
+            continue
+        exits = any(
+            isinstance(stmt, (ast.Return, ast.Raise, ast.Continue))
+            for body_stmt in node.body
+            for stmt in ast.walk(body_stmt)
+        )
+        if exits:
+            return True
+    return False
+
+
+def _check_function(pf: ParsedFile, fn: ast.AST) -> Iterator[Finding]:
+    tracked = _assigned_receivers(fn)
+    tracked.discard("self._obs")  # handled file-wide below
+    exempt = _constructed_receivers(fn) | _param_names(fn)
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in _RECORD_ATTRS
+        ):
+            continue
+        recv = ast.unparse(func.value)
+        if recv in exempt or recv.split(".")[0] in exempt:
+            continue
+        if recv not in tracked and recv != "self._obs":
+            continue
+        if recv == "self._obs" and not pf_tracks_obs(pf):
+            continue
+        if _is_guarded(pf, fn, node, recv):
+            continue
+        yield Finding(
+            path=pf.rel,
+            line=node.lineno,
+            rule="telemetry-guard",
+            message=(
+                f"{recv}.{func.attr}(...) records telemetry without an "
+                f"`{recv}.enabled` guard"
+            ),
+            hint=HINT,
+        )
+
+
+def pf_tracks_obs(pf: ParsedFile) -> bool:
+    """True when the file ever binds ``self._obs`` from ``current()``."""
+    cached = getattr(pf, "_obs_tracked", None)
+    if cached is None:
+        cached = any(
+            "self._obs" in _assigned_receivers(fn)
+            for fn in pf.functions()
+        )
+        pf._obs_tracked = cached
+    return cached
+
+
+def check(project: Project) -> Iterator[Finding]:
+    for _, pf in project.modules():
+        if pf.tree is None or pf.rel == "src/repro/obs/telemetry.py":
+            continue
+        for fn in pf.functions():
+            yield from _check_function(pf, fn)

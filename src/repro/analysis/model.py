@@ -1,0 +1,164 @@
+"""Data model for repro-lint: findings, pragmas, parsed files.
+
+The linter (see :mod:`repro.analysis.engine`) parses every Python file
+under ``src/repro`` once into a :class:`ParsedFile` — source text, AST,
+and the ``# repro-lint: allow[rule]`` suppression pragmas — and hands
+the whole :class:`Project` to each checker.  Checkers yield
+:class:`Finding` objects; the engine drops the ones a pragma or the
+committed baseline covers.
+
+Pragma syntax
+-------------
+::
+
+    something()  # repro-lint: allow[wall-clock]
+    # repro-lint: allow[lock-blocking, atomic-write] -- justification
+    next_line_is_covered()
+
+A pragma sharing a line with code suppresses findings on *that* line; a
+pragma on a line of its own suppresses findings on the *next* line.
+Everything after ``--`` is a free-form justification (required by
+convention, not by the parser).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = ["Finding", "ParsedFile", "Project", "PRAGMA_RE"]
+
+PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*allow\[([^\]]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  #: repo-relative posix path
+    line: int  #: 1-based line number
+    rule: str  #: rule id, e.g. ``wall-clock``
+    message: str  #: what is wrong, specifically
+    hint: str = ""  #: how to fix it (or how to suppress legitimately)
+    #: Stripped source text of the flagged line — the stable part of the
+    #: baseline key, so findings survive unrelated line moves.
+    text: str = ""
+
+    @property
+    def baseline_key(self) -> str:
+        return f"{self.path}::{self.rule}::{self.text}"
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "hint": self.hint,
+            "text": self.text,
+        }
+
+
+class ParsedFile:
+    """One source file: text, AST, pragmas, lazy parent links."""
+
+    def __init__(self, path: Path, rel: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.text = path.read_text()
+        self.lines = self.text.splitlines()
+        self.tree: Optional[ast.Module] = None
+        self.syntax_error: Optional[SyntaxError] = None
+        try:
+            self.tree = ast.parse(self.text, filename=str(path))
+        except SyntaxError as exc:  # pragma: no cover - repo always parses
+            self.syntax_error = exc
+        self._pragmas = self._collect_pragmas()
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+
+    # -- pragmas -------------------------------------------------------
+    def _collect_pragmas(self) -> Dict[int, Set[str]]:
+        pragmas: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = PRAGMA_RE.search(line)
+            if not match:
+                continue
+            rules = {
+                part.split("--")[0].strip()
+                for part in match.group(1).split(",")
+            }
+            rules.discard("")
+            code_before = line[: match.start()].strip()
+            target = lineno if code_before else lineno + 1
+            pragmas.setdefault(target, set()).update(rules)
+        return pragmas
+
+    def allows(self, line: int, rule: str) -> bool:
+        """True when a pragma suppresses ``rule`` findings on ``line``."""
+        rules = self._pragmas.get(line)
+        return bool(rules) and (rule in rules or "all" in rules)
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    # -- AST helpers ---------------------------------------------------
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """Child → parent map for the file's AST (built lazily once)."""
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            if self.tree is not None:
+                for node in ast.walk(self.tree):
+                    for child in ast.iter_child_nodes(node):
+                        parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterable[ast.AST]:
+        parents = self.parents()
+        while node in parents:
+            node = parents[node]
+            yield node
+
+    def functions(self) -> List[ast.FunctionDef]:
+        """Every function/method definition in the file."""
+        if self.tree is None:
+            return []
+        return [
+            node
+            for node in ast.walk(self.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+
+@dataclass
+class Project:
+    """Every parsed file of the linted tree, with module-name lookup."""
+
+    root: Path  #: repository root (the directory holding ``src/``)
+    files: List[ParsedFile] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_module: Dict[str, ParsedFile] = {
+            self.module_of(f.rel): f for f in self.files
+        }
+
+    @staticmethod
+    def module_of(rel: str) -> str:
+        """``src/repro/api/config.py`` → ``repro.api.config``."""
+        parts = Path(rel).with_suffix("").parts
+        if parts and parts[0] == "src":
+            parts = parts[1:]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    def module(self, name: str) -> Optional[ParsedFile]:
+        return self._by_module.get(name)
+
+    def modules(self) -> Iterable[Tuple[str, ParsedFile]]:
+        return self._by_module.items()

@@ -23,22 +23,33 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Optional
 
 from repro.backend.base import PrecisionPolicy
 
 __all__ = ["ReconstructionConfig"]
 
-#: Keys that never change a run's numerics — *where* and *how much at a
-#: time* work happens, not *what* is computed.  ``iterations`` is here
-#: because a resumed leg legitimately runs fewer iterations than the
-#: archived run it continues; executor/store/batch settings are here
-#: because every one of them is fingerprint-identical by the parity
-#: suites' guarantees.  ``backend``/``dtype`` are *not* neutral:
-#: threaded FFTs and complex64 both change the bits.
-_FINGERPRINT_NEUTRAL_KEYS = frozenset(
+#: Config fields that *do* change a run's numerics: the solver
+#: arithmetic itself and the compute stack it runs on.  Threaded FFTs
+#: and complex64 both change the bits, so ``backend``/``dtype`` are
+#: numeric, not placement detail.
+_FINGERPRINT_NUMERIC_FIELDS = frozenset(
+    {"solver", "solver_params", "backend", "dtype"}
+)
+
+#: Config fields that never change a run's numerics — *where* and *how
+#: much at a time* work happens, not *what* is computed.  Executor/
+#: store/batch settings are here because every one of them is
+#: fingerprint-identical by the parity suites' guarantees; run params
+#: (resume source) describe how a run starts, not its arithmetic.
+#:
+#: Together with ``_FINGERPRINT_NUMERIC_FIELDS`` this must cover every
+#: :class:`ReconstructionConfig` field exactly once — the
+#: ``fingerprint-knob`` rule of :mod:`repro.analysis` fails the build
+#: when a new field is added without declaring which set it belongs to.
+_FINGERPRINT_NEUTRAL_FIELDS = frozenset(
     {
-        "iterations",
+        "run_params",
         "executor",
         "runtime_workers",
         "data_source",
@@ -46,6 +57,18 @@ _FINGERPRINT_NEUTRAL_KEYS = frozenset(
         "prefetch",
         "telemetry",
     }
+)
+
+#: ``solver_params`` keys excluded from the fingerprint even though the
+#: mapping as a whole is numeric: ``iterations`` is neutral because a
+#: resumed leg legitimately runs fewer iterations than the archived run
+#: it continues.
+_FINGERPRINT_NEUTRAL_SOLVER_PARAMS = frozenset({"iterations"})
+
+#: Every fingerprint-neutral key, field- or solver-param-level (the set
+#: :meth:`ReconstructionConfig.fingerprint` filters against).
+_FINGERPRINT_NEUTRAL_KEYS = (
+    _FINGERPRINT_NEUTRAL_SOLVER_PARAMS | _FINGERPRINT_NEUTRAL_FIELDS
 )
 
 _CONFIG_KEYS = (
@@ -155,14 +178,14 @@ class ReconstructionConfig:
     solver: str
     solver_params: Mapping[str, Any] = field(default_factory=dict)
     run_params: Mapping[str, Any] = field(default_factory=dict)
-    backend: str = None
-    dtype: str = None
-    executor: str = None
-    runtime_workers: int = None
-    data_source: str = None
-    batch_size: int = None
-    prefetch: bool = None
-    telemetry: bool = None
+    backend: Optional[str] = None
+    dtype: Optional[str] = None
+    executor: Optional[str] = None
+    runtime_workers: Optional[int] = None
+    data_source: Optional[str] = None
+    batch_size: Optional[int] = None
+    prefetch: Optional[bool] = None
+    telemetry: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.solver, str) or not self.solver:
@@ -347,7 +370,7 @@ class ReconstructionConfig:
         return self._replace(run_params=merged)
 
     def with_compute(
-        self, backend: str = None, dtype: str = None
+        self, backend: Optional[str] = None, dtype: Optional[str] = None
     ) -> "ReconstructionConfig":
         """New config with the compute backend and/or precision replaced
         (``None`` keeps the current value) — how the CLI replays an
@@ -356,7 +379,9 @@ class ReconstructionConfig:
         return self._replace(backend=backend, dtype=dtype)
 
     def with_runtime(
-        self, executor: str = None, runtime_workers: int = None
+        self,
+        executor: Optional[str] = None,
+        runtime_workers: Optional[int] = None,
     ) -> "ReconstructionConfig":
         """New config with the executor and/or worker bound replaced
         (``None`` keeps the current value) — how the CLI replays an
@@ -367,9 +392,9 @@ class ReconstructionConfig:
 
     def with_data(
         self,
-        data_source: str = None,
-        batch_size: int = None,
-        prefetch: bool = None,
+        data_source: Optional[str] = None,
+        batch_size: Optional[int] = None,
+        prefetch: Optional[bool] = None,
     ) -> "ReconstructionConfig":
         """New config with the measurement source, batch size and/or
         prefetch flag replaced (``None`` keeps the current value) — how

@@ -46,7 +46,7 @@ import threading
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Type, Union
+from typing import Callable, Dict, Iterator, List, Optional, Type, Union
 
 import numpy as np
 
@@ -295,20 +295,33 @@ def register_backend(
         cls.name = name
         with _LOCK:
             _REGISTRY[name] = cls
-            _close_instance(name)
+            stale = _evict_locked(name)
+        if stale is not None:
+            stale.close()
         return cls
 
     return decorator
+
+
+def _evict_locked(name: str) -> Optional[ArrayBackend]:
+    """Drop the cached instance (and any leases) under ``name``; the
+    caller must hold ``_LOCK`` and must ``close()`` the returned
+    instance *after* releasing it — ``close()`` can block on worker-pool
+    shutdown, and running it under the registry lock would stall every
+    concurrent backend resolution (see the ``lock-blocking`` rule of
+    :mod:`repro.analysis`)."""
+    _REFCOUNTS.pop(name, None)
+    return _INSTANCES.pop(name, None)
 
 
 def _close_instance(name: str) -> None:
     """Evict and close the cached instance under ``name`` (if any) —
     registry-held backends must not leak worker pools or plan caches
     when their registration goes away.  Any outstanding leases are
-    voided (re-registration/teardown is a force-close)."""
+    voided (re-registration/teardown is a force-close).  Must be called
+    *without* holding ``_LOCK``: the close runs outside it."""
     with _LOCK:
-        _REFCOUNTS.pop(name, None)
-        instance = _INSTANCES.pop(name, None)
+        instance = _evict_locked(name)
     if instance is not None:
         instance.close()
 
@@ -320,7 +333,9 @@ def unregister_backend(name: str) -> None:
         if name not in _REGISTRY:
             raise UnknownBackendError(_unknown_message(name))
         del _REGISTRY[name]
-        _close_instance(name)
+        stale = _evict_locked(name)
+    if stale is not None:
+        stale.close()
 
 
 def acquire_backend(spec: Union[str, ArrayBackend]) -> ArrayBackend:
@@ -367,7 +382,9 @@ def release_backend(name: str) -> None:
         if count > 1:
             _REFCOUNTS[name] = count - 1
             return
-        _close_instance(name)
+        instance = _evict_locked(name)
+    if instance is not None:
+        instance.close()
 
 
 def backend_refcount(name: str = None) -> Union[int, Dict[str, int]]:

@@ -220,7 +220,13 @@ def build_parser() -> argparse.ArgumentParser:
         "predict", help="full-scale performance prediction (Tables II/III)"
     )
     pred.add_argument("--dataset", choices=["small", "large"], default="large")
-    pred.add_argument("--algorithm", choices=["gd", "hve"], default="gd")
+    # Deliberately narrower than solver_names(): the paper's performance
+    # model is calibrated for gd/hve only, so third-party solver
+    # registrations have no prediction tables to draw from.
+    pred.add_argument(
+        "--algorithm", default="gd",
+        choices=["gd", "hve"],  # repro-lint: allow[registry-reachable]
+    )
     pred.add_argument("--gpus", default="6,54,198,462",
                       help="comma-separated GPU counts")
     pred.add_argument(
@@ -288,6 +294,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "or a service job directory (telemetry.json)")
     sts.add_argument("--json", action="store_true",
                      help="print the raw summary JSON instead of the table")
+
+    lnt = sub.add_parser(
+        "lint",
+        help="check the tree against the repo's correctness contracts "
+             "(repro-lint; see `repro lint --list-rules`)",
+        add_help=False,
+    )
+    lnt.add_argument("lint_args", nargs=argparse.REMAINDER,
+                     help="arguments forwarded to repro.analysis "
+                          "(--format, --rules, --baseline, paths, ...)")
     return parser
 
 
@@ -746,9 +762,24 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    # `lint` forwards its whole tail to repro.analysis' own parser
+    # (argparse REMAINDER alone refuses option-like first tokens, so
+    # collect strays from parse_known_args too); every other command
+    # keeps strict parsing.
+    args, extra = parser.parse_known_args(argv)
+    if extra and args.command != "lint":
+        parser.error(f"unrecognized arguments: {' '.join(extra)}")
+    if args.command == "lint":
+        args.lint_args = list(extra) + list(args.lint_args)
     from repro.obs import configure_logging
 
     # Explicit --log-level beats -v beats REPRO_LOG beats warnings-only;
@@ -764,6 +795,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "submit": _cmd_submit,
         "jobs": _cmd_jobs,
         "stats": _cmd_stats,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

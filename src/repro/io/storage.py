@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Any, List, Mapping, Optional, Union
 import numpy as np
 
 from repro.core.reconstructor import ReconstructionResult
+from repro.utils.atomicio import atomic_output
 
 if TYPE_CHECKING:  # pragma: no cover
     # Imported lazily at runtime: repro.api.events imports this module,
@@ -44,6 +45,23 @@ __all__ = [
 ]
 
 _FORMAT_VERSION = 1
+
+
+def _savez_atomic(path: Path, payload: Mapping[str, Any]) -> Path:
+    """Compressed-npz write via tmp + ``os.replace``.
+
+    Archives land in durable directories (service job dirs, checkpoint
+    dirs); a crash mid-``savez`` must never leave a torn ``.npz`` that
+    recovery later tries to consolidate.  Mirrors numpy's convention of
+    appending ``.npz`` to suffix-less paths, and returns the path the
+    archive actually landed at.
+    """
+    if not path.name.endswith(".npz"):
+        path = path.with_name(path.name + ".npz")
+    with atomic_output(path) as tmp:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+    return path
 
 
 def _spec_to_json(spec: DatasetSpec) -> str:
@@ -76,8 +94,7 @@ def save_dataset(
     }
     if include_ground_truth and dataset.ground_truth is not None:
         payload["ground_truth"] = dataset.ground_truth
-    np.savez_compressed(path, **payload)
-    return path
+    return _savez_atomic(path, payload)
 
 
 def load_dataset(path: Union[str, Path]) -> PtychoDataset:
@@ -176,8 +193,7 @@ def save_result(
         payload["telemetry_json"] = np.array(
             json.dumps(result.telemetry, sort_keys=True)
         )
-    np.savez_compressed(path, **payload)
-    return path
+    return _savez_atomic(path, payload)
 
 
 def load_result(path: Union[str, Path]) -> ResultArchive:

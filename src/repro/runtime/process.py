@@ -477,10 +477,14 @@ class _ProcessSession(ExecutionSession):
         # Drop our views before releasing the mappings; a view leaked to
         # user code merely keeps its mapping alive until collected.
         self._vol_views = None
+        # Holding _TRACKER_LOCK *across* close/unlink is the point of
+        # that lock (serialize every resource-tracker touch with fork
+        # sites, see its definition), so the usual close-outside-the-
+        # lock rule is inverted here on purpose.
         with _TRACKER_LOCK:
             for seg in self._segments:
                 try:
-                    seg.close()
+                    seg.close()  # repro-lint: allow[lock-blocking]
                 except BufferError:  # pragma: no cover - leaked view
                     pass
                 try:

@@ -47,6 +47,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.api.config import ReconstructionConfig
+from repro.utils.atomicio import atomic_write_json
 
 __all__ = [
     "JobState",
@@ -158,9 +159,7 @@ def save_record(root: Union[str, Path], record: JobRecord) -> None:
     torn record, and a crash mid-write leaves the previous version."""
     directory = job_dir(root, record.job_id)
     directory.mkdir(parents=True, exist_ok=True)
-    tmp = directory / "job.json.tmp"
-    tmp.write_text(json.dumps(asdict(record), indent=2) + "\n")
-    os.replace(tmp, directory / "job.json")
+    atomic_write_json(directory / "job.json", asdict(record), indent=2)
 
 
 # ----------------------------------------------------------------------
@@ -215,7 +214,11 @@ def create_job(
         config=config.to_dict(),
         dataset_path=dataset_path,
         priority=int(priority),
-        submitted_at=time.time(),
+        # Record-keeping only: submitted_at is shown to humans and feeds
+        # the wait-vs-run telemetry split, never queue ordering — the
+        # JobQueue schedules by priority + aging, monotonic by design
+        # (see repro.service.queue's wall-clock-free ordering contract).
+        submitted_at=time.time(),  # repro-lint: allow[wall-clock]
         iterations_total=iterations,
     )
     save_record(root, record)
@@ -254,10 +257,7 @@ def request_control(
         raise ValueError(f"action must be 'cancel' or 'pause', got {action!r}")
     load_record(root, job_id)  # existence check with a clear error
     payload = {"action": action, "at_iteration": at_iteration}
-    path = _control_path(root, job_id)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload) + "\n")
-    os.replace(tmp, path)
+    atomic_write_json(_control_path(root, job_id), payload)
 
 
 def read_control(

@@ -19,7 +19,6 @@ counters.
 from __future__ import annotations
 
 import json
-import os
 import threading
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -27,6 +26,7 @@ from typing import Iterator, List, Optional, Union
 
 from repro.core.observers import IterationEvent
 from repro.obs import telemetry as _obs
+from repro.utils.atomicio import atomic_write_json
 
 __all__ = ["ProgressUpdate", "ProgressStream", "read_progress"]
 
@@ -182,9 +182,7 @@ def _write_json_atomic(path: Path, payload: dict) -> None:
     """Write ``payload`` via tmp+rename so concurrent readers never see
     a torn file (the CLI polls these from another process)."""
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=2) + "\n")
-    os.replace(tmp, path)
+    atomic_write_json(path, payload, indent=2)
 
 
 def read_progress(path: Union[str, Path]) -> Optional[ProgressUpdate]:

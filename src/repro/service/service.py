@@ -35,7 +35,6 @@ registry's ``acquire_backend``/``release_backend`` pair exists for.
 
 from __future__ import annotations
 
-import json
 import logging
 import os
 import threading
@@ -67,6 +66,7 @@ from repro.service import jobs as jobstore
 from repro.service.jobs import JobError, JobRecord, JobState
 from repro.service.progress import ProgressStream
 from repro.service.queue import JobQueue
+from repro.utils.atomicio import atomic_write_json
 
 __all__ = ["ReconstructionService", "JobHandle"]
 
@@ -343,7 +343,13 @@ class ReconstructionService:
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while True:
-                state = jobstore.load_record(self.root, job_id).state
+                # The record read must stay under the condition: workers
+                # notify under it, so reading outside would let a settle
+                # fire between the state check and the wait (a missed
+                # wake-up that hangs a timeout-less waiter forever).
+                state = jobstore.load_record(  # repro-lint: allow[lock-blocking]
+                    self.root, job_id
+                ).state
                 if state in JobState.SETTLED:
                     return state
                 remaining = (
@@ -413,7 +419,11 @@ class ReconstructionService:
         service never wedges its root, and the successor that takes the
         lock is by construction the only process whose recovery scan
         may re-queue RUNNING jobs."""
-        self._lock_file = open(self.root / "serve.lock", "a+")
+        # The lock file IS the synchronization primitive (flock target),
+        # not durable data — tmp+rename would defeat it.
+        self._lock_file = open(  # repro-lint: allow[atomic-write]
+            self.root / "serve.lock", "a+"
+        )
         if fcntl is None:  # pragma: no cover - non-POSIX
             return
         try:
@@ -519,7 +529,10 @@ class ReconstructionService:
         tel: Optional["_obs.Telemetry"] = None,
     ) -> None:
         record.state = state
-        record.finished_at = time.time()
+        # Record-keeping only (humans + the wait-vs-run telemetry
+        # split); queue ordering stays monotonic/wall-clock-free — see
+        # repro.service.queue.
+        record.finished_at = time.time()  # repro-lint: allow[wall-clock]
         jobstore.save_record(self.root, record)
         # Before waiters are notified, so a client that saw the settled
         # state always finds telemetry.json in the job directory.
@@ -567,7 +580,9 @@ class ReconstructionService:
             return
 
         record.state = JobState.RUNNING
-        record.started_at = time.time()
+        # Record-keeping only; see the monotonic-only rule note on
+        # finished_at in _settle.
+        record.started_at = time.time()  # repro-lint: allow[wall-clock]
         record.error = None
         jobstore.save_record(self.root, record)
 
@@ -742,11 +757,10 @@ class ReconstructionService:
             "summary": tel.summary() if tel is not None else None,
         }
         try:
-            tmp = directory / "telemetry.json.tmp"
-            tmp.write_text(
-                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            atomic_write_json(
+                directory / "telemetry.json", payload,
+                indent=2, sort_keys=True,
             )
-            os.replace(tmp, directory / "telemetry.json")
         except OSError:
             logger.debug(
                 "job %s: telemetry.json write failed",

@@ -1,0 +1,48 @@
+"""Fixture helpers for the repro-lint test suite.
+
+Each rule is exercised against a *synthetic* repo tree (a ``src/repro``
+skeleton under ``tmp_path``) so violating snippets never live in the
+real tree — the real tree must stay lint-clean (see
+``test_engine.py::test_repo_is_clean``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.analysis import lint
+from repro.analysis.model import Finding
+
+
+@pytest.fixture
+def make_tree(tmp_path):
+    """Write ``{relpath: source}`` files under a fresh repo skeleton and
+    return a ``run(rules=...)`` callable producing lint findings."""
+
+    def _make(files: Dict[str, str]):
+        (tmp_path / "src" / "repro").mkdir(parents=True, exist_ok=True)
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source)
+
+        def run(
+            rules: Optional[Sequence[str]] = None,
+            respect_pragmas: bool = True,
+        ) -> List[Finding]:
+            return lint(
+                root=tmp_path,
+                rules=rules,
+                respect_pragmas=respect_pragmas,
+            )
+
+        return run
+
+    return _make
+
+
+def rules_of(findings: List[Finding]) -> List[str]:
+    return [f.rule for f in findings]

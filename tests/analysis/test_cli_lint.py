@@ -1,0 +1,31 @@
+"""The ``repro lint`` CLI subcommand forwards to repro.analysis."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestLintSubcommand:
+    def test_clean_repo_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_forwards_option_like_args(self, capsys):
+        assert main(["lint", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-lint/1"
+        assert payload["findings"] == []
+
+    def test_list_rules_passthrough(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        assert "wall-clock" in capsys.readouterr().out
+
+    def test_other_commands_stay_strict(self, capsys):
+        try:
+            main(["stats", "x", "--definitely-not-a-flag"])
+        except SystemExit as exc:
+            assert exc.code == 2
+        else:  # pragma: no cover - argparse always raises
+            raise AssertionError("expected SystemExit")

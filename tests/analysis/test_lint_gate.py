@@ -1,0 +1,157 @@
+"""Engine-level behaviour: pragmas, baselines, output formats, exit
+codes — and the whole-repo smoke gate."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import ALL_RULES, lint
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.engine import main
+
+_VIOLATION = textwrap.dedent(
+    """
+    import time
+
+    def stamp():
+        return time.time()
+    """
+).lstrip("\n")
+
+
+class TestRepoIsClean:
+    def test_repo_is_clean(self):
+        """The real tree has zero non-baselined findings — every rule
+        passes, with deliberate exceptions pragma'd inline."""
+        assert lint() == []
+
+    def test_every_rule_has_a_description(self):
+        assert ALL_RULES
+        for rule, doc in ALL_RULES.items():
+            assert rule and doc
+
+
+class TestPragmas:
+    def test_same_line_pragma_suppresses(self, make_tree):
+        run = make_tree({
+            "src/repro/service/sched.py": (
+                "import time\n"
+                "\n"
+                "def stamp():\n"
+                "    return time.time()"
+                "  # repro-lint: allow[wall-clock] -- display only\n"
+            ),
+        })
+        assert run(rules=["wall-clock"]) == []
+        assert [
+            f.rule for f in run(rules=["wall-clock"], respect_pragmas=False)
+        ] == ["wall-clock"]
+
+    def test_standalone_pragma_covers_next_line(self, make_tree):
+        run = make_tree({
+            "src/repro/service/sched.py": (
+                "import time\n"
+                "\n"
+                "def stamp():\n"
+                "    # repro-lint: allow[wall-clock]\n"
+                "    return time.time()\n"
+            ),
+        })
+        assert run(rules=["wall-clock"]) == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self, make_tree):
+        run = make_tree({
+            "src/repro/service/sched.py": (
+                "import time\n"
+                "\n"
+                "def stamp():\n"
+                "    return time.time()  # repro-lint: allow[atomic-write]\n"
+            ),
+        })
+        assert [f.rule for f in run(rules=["wall-clock"])] == ["wall-clock"]
+
+
+class TestBaseline:
+    def test_round_trip_suppresses_grandfathered(self, tmp_path, make_tree):
+        run = make_tree({"src/repro/service/sched.py": _VIOLATION})
+        findings = run(rules=["wall-clock"])
+        assert findings
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, findings)
+        assert load_baseline(baseline) == {f.baseline_key for f in findings}
+        assert (
+            lint(root=tmp_path, rules=["wall-clock"], baseline=baseline)
+            == []
+        )
+
+    def test_key_survives_line_moves(self, tmp_path, make_tree):
+        run = make_tree({"src/repro/service/sched.py": _VIOLATION})
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, run(rules=["wall-clock"]))
+        # shift the violation down: same text, different line number
+        (tmp_path / "src/repro/service/sched.py").write_text(
+            "# a new leading comment\n" + _VIOLATION
+        )
+        assert (
+            lint(root=tmp_path, rules=["wall-clock"], baseline=baseline)
+            == []
+        )
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == set()
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "something-else"}))
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+
+
+class TestCliSurface:
+    def test_exit_zero_and_table_on_clean_repo(self, capsys):
+        assert main([]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_one_and_locations_on_findings(
+        self, tmp_path, make_tree, capsys
+    ):
+        make_tree({"src/repro/service/sched.py": _VIOLATION})
+        assert main(["--root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "src/repro/service/sched.py:4" in out
+        assert "[wall-clock]" in out
+
+    def test_json_format_schema(self, tmp_path, make_tree, capsys):
+        make_tree({"src/repro/service/sched.py": _VIOLATION})
+        assert main(["--root", str(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-lint/1"
+        assert payload["counts"] == {"wall-clock": 1}
+        (finding,) = payload["findings"]
+        assert finding["path"] == "src/repro/service/sched.py"
+        assert finding["line"] == 4
+        assert finding["rule"] == "wall-clock"
+        assert finding["hint"]
+
+    def test_write_baseline_then_clean(self, tmp_path, make_tree, capsys):
+        make_tree({"src/repro/service/sched.py": _VIOLATION})
+        root = ["--root", str(tmp_path)]
+        assert main([*root, "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main(root) == 0  # default baseline now grandfathers it
+
+    def test_rules_filter_and_unknown_rule(self, tmp_path, make_tree, capsys):
+        make_tree({"src/repro/service/sched.py": _VIOLATION})
+        root = ["--root", str(tmp_path)]
+        assert main([*root, "--rules", "atomic-write"]) == 0
+        assert main([*root, "--rules", "no-such-rule"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule in out

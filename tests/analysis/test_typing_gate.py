@@ -1,0 +1,35 @@
+"""The mypy gate (mypy.ini) passes over the typed surfaces.
+
+Runs only where mypy is installed (CI's lint job installs it; the
+default dev environment may not), so tier-1 stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.mark.slow
+def test_mypy_gate_passes():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "mypy.ini"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"mypy gate failed:\n{proc.stdout}\n{proc.stderr}"
+    )
+
+
+def test_py_typed_marker_exists():
+    assert (REPO_ROOT / "src" / "repro" / "py.typed").exists()
