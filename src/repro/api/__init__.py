@@ -54,6 +54,7 @@ from repro.api.reconstruct import (
     ResumeMismatchError,
     reconstruct,
 )
+from repro.api.streaming import run_streaming
 
 __all__ = [
     "ReconstructionConfig",
@@ -75,4 +76,5 @@ __all__ = [
     "reconstruct",
     "ResumeMismatchError",
     "RUN_PARAM_KEYS",
+    "run_streaming",
 ]

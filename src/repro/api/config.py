@@ -47,6 +47,13 @@ _FINGERPRINT_NUMERIC_FIELDS = frozenset(
 #: :class:`ReconstructionConfig` field exactly once — the
 #: ``fingerprint-knob`` rule of :mod:`repro.analysis` fails the build
 #: when a new field is added without declaring which set it belongs to.
+#: ``scan_source``/``stream_policy`` are neutral because streaming
+#: never changes *what* is computed for a given coverage trajectory: a
+#: source whose frames all pre-arrive is parity-pinned bit-identical to
+#: the static path, and a partially-covered epoch differs only through
+#: the ``positions`` solver param of the internal per-epoch configs —
+#: which is numeric, and which the archived run-level config never
+#: contains.
 _FINGERPRINT_NEUTRAL_FIELDS = frozenset(
     {
         "run_params",
@@ -56,6 +63,8 @@ _FINGERPRINT_NEUTRAL_FIELDS = frozenset(
         "batch_size",
         "prefetch",
         "telemetry",
+        "scan_source",
+        "stream_policy",
     }
 )
 
@@ -83,6 +92,8 @@ _CONFIG_KEYS = (
     "batch_size",
     "prefetch",
     "telemetry",
+    "scan_source",
+    "stream_policy",
 )
 
 
@@ -173,6 +184,20 @@ class ReconstructionConfig:
         — it is fingerprint-neutral by construction, and the obs test
         suite pins disabled runs bit-identical to the golden
         fingerprints.
+    scan_source:
+        Streaming acquisition spec (see
+        :func:`repro.data.build_scan_source`): ``None`` (the default)
+        is the static path; a mapping like ``{"kind": "replay",
+        "waves": 4}`` or a scripted ``{"kind": "simulated", ...}``
+        schedule routes the run through the streaming driver, whose
+        frames arrive while the solver sweeps.  Mutually exclusive
+        with ``data_source`` — the stream *is* the measurement source.
+    stream_policy:
+        Run-level streaming knobs (see
+        :class:`repro.data.StreamPolicy`): wait timeout, minimum start
+        coverage, sweeps per coverage snapshot, deterministic
+        re-weighting, restart-on-growth.  Ignored unless
+        ``scan_source`` is set.
     """
 
     solver: str
@@ -186,6 +211,8 @@ class ReconstructionConfig:
     batch_size: Optional[int] = None
     prefetch: Optional[bool] = None
     telemetry: Optional[bool] = None
+    scan_source: Optional[Mapping[str, Any]] = None
+    stream_policy: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.solver, str) or not self.solver:
@@ -233,6 +260,19 @@ class ReconstructionConfig:
             "run_params",
             MappingProxyType(_normalize_mapping(self.run_params, "run_params")),
         )
+        if self.scan_source is not None and self.data_source is not None:
+            raise ValueError(
+                "scan_source and data_source are mutually exclusive: a "
+                "streamed run reads from the stream, not a static store"
+            )
+        for name in ("scan_source", "stream_policy"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(
+                    self,
+                    name,
+                    MappingProxyType(_normalize_mapping(value, name)),
+                )
 
     def __hash__(self) -> int:
         # The dataclass-generated hash would choke on the mapping-proxy
@@ -255,6 +295,16 @@ class ReconstructionConfig:
             "batch_size": self.batch_size,
             "prefetch": self.prefetch,
             "telemetry": self.telemetry,
+            "scan_source": (
+                _normalize_mapping(self.scan_source, "scan_source")
+                if self.scan_source is not None
+                else None
+            ),
+            "stream_policy": (
+                _normalize_mapping(self.stream_policy, "stream_policy")
+                if self.stream_policy is not None
+                else None
+            ),
         }
 
     @classmethod
@@ -288,6 +338,8 @@ class ReconstructionConfig:
             batch_size=payload.get("batch_size"),
             prefetch=payload.get("prefetch"),
             telemetry=payload.get("telemetry"),
+            scan_source=payload.get("scan_source"),
+            stream_policy=payload.get("stream_policy"),
         )
 
     def to_json(self, indent: int = 2) -> str:
@@ -412,3 +464,16 @@ class ReconstructionConfig:
         touching any numerics-relevant field (``None`` keeps the
         current value, like every other ``with_*`` helper)."""
         return self._replace(telemetry=telemetry)
+
+    def with_stream(
+        self,
+        scan_source: Optional[Mapping[str, Any]] = None,
+        stream_policy: Optional[Mapping[str, Any]] = None,
+    ) -> "ReconstructionConfig":
+        """New config routed through the streaming driver (``None``
+        keeps the current value) — how ``repro reconstruct --stream``
+        attaches an arrival schedule and its policy knobs to an
+        otherwise-static config."""
+        return self._replace(
+            scan_source=scan_source, stream_policy=stream_policy
+        )

@@ -28,7 +28,7 @@ from repro.runtime.executor import default_executor_name, get_executor
 __all__ = ["reconstruct", "ResumeMismatchError", "RUN_PARAM_KEYS"]
 
 #: run_params keys :func:`reconstruct` understands.
-RUN_PARAM_KEYS = frozenset({"resume", "resume_unchecked"})
+RUN_PARAM_KEYS = frozenset({"resume", "resume_unchecked", "stream_offset"})
 
 
 class ResumeMismatchError(ValueError):
@@ -105,6 +105,11 @@ def reconstruct(
             f"unknown run_params key(s) {sorted(unknown)}; "
             f"supported: {sorted(RUN_PARAM_KEYS)}"
         )
+    if "stream_offset" in config.run_params and config.scan_source is None:
+        raise ValueError(
+            "run_params['stream_offset'] only applies to streamed runs "
+            "(set config.scan_source)"
+        )
     # Fail fast on an unrunnable compute/runtime configuration —
     # including the ambient (None → environment) resolutions, so a
     # REPRO_EXECUTOR typo surfaces here, not after dataset decomposition.
@@ -127,7 +132,11 @@ def reconstruct(
     if owned:
         store.close()
     resolve_batch_size(config.batch_size)
-    solver = solver_from_config(config)
+    # Streamed runs (scan_source set) defer solver construction to the
+    # epoch driver, which builds one static solver per coverage epoch.
+    solver = None if config.scan_source is not None else solver_from_config(
+        config
+    )
     resume = config.run_params.get("resume")
     if initial_volume is None and resume is not None:
         archive = load_result(resume)
@@ -163,30 +172,37 @@ def reconstruct(
     # config field beats REPRO_TRACE beats off — and an enabled run gets
     # its own run-scoped recorder.  Either way the aggregated summary is
     # attached to the result (and from there to saved archives).
-    ambient = _obs.current()
-    if ambient.enabled:
-        result = solver.reconstruct(
+    cfg: ReconstructionConfig = config
+
+    def _run() -> ReconstructionResult:
+        if solver is None:
+            # Local import: repro.api.streaming imports this module's
+            # sibling registry, so a top-level import would be circular.
+            from repro.api.streaming import run_streaming
+
+            return run_streaming(
+                dataset,
+                cfg,
+                observers=observers,
+                initial_probe=initial_probe,
+                initial_volume=initial_volume,
+            )
+        return solver.reconstruct(
             dataset,
             observers=observers,
             initial_probe=initial_probe,
             initial_volume=initial_volume,
         )
+
+    ambient = _obs.current()
+    if ambient.enabled:
+        result = _run()
         result.telemetry = ambient.summary()
         return result
     if _obs.resolve_telemetry(config.telemetry):
         tel = _obs.Telemetry()
         with _obs.activate(tel):
-            result = solver.reconstruct(
-                dataset,
-                observers=observers,
-                initial_probe=initial_probe,
-                initial_volume=initial_volume,
-            )
+            result = _run()
         result.telemetry = tel.summary()
         return result
-    return solver.reconstruct(
-        dataset,
-        observers=observers,
-        initial_probe=initial_probe,
-        initial_volume=initial_volume,
-    )
+    return _run()

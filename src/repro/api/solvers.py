@@ -118,6 +118,7 @@ class GradientDecompositionSolver(SolverAdapter):
             "data_source",
             "batch_size",
             "prefetch",
+            "positions",
         }
     )
 
@@ -167,6 +168,7 @@ class HaloExchangeSolver(SolverAdapter):
             "data_source",
             "batch_size",
             "prefetch",
+            "positions",
         }
     )
 
@@ -201,7 +203,8 @@ class SerialSolver(SolverAdapter):
 
     accepted_params = frozenset(
         {"iterations", "lr", "scheme", "refine_probe", "probe_lr",
-         "backend", "dtype", "data_source", "batch_size", "prefetch"}
+         "backend", "dtype", "data_source", "batch_size", "prefetch",
+         "positions"}
     )
 
     def _build(self, params: Dict[str, Any]) -> SerialReconstructor:

@@ -38,6 +38,7 @@ from repro.core.observers import (
 )
 from repro.core.reconstructor import ReconstructionResult
 from repro.core.stitching import stitch
+from repro.data.batching import resolve_positions
 from repro.obs import telemetry as _obs
 from repro.parallel.topology import MeshLayout
 from repro.physics.dataset import PtychoDataset
@@ -88,6 +89,12 @@ class HaloExchangeReconstructor:
         uniformity but is a no-op here: the local solves are sequential
         SGD, whose semantics forbid batching (pinned by the parity
         suite).
+    positions:
+        Restrict local solves to this scan-position subset (``None`` =
+        the full scan).  The streaming driver plans each epoch over a
+        coverage snapshot this way; the decomposition and exchange
+        pattern stay on the full scan, so a restricted run is exactly
+        the full run with the missing probes' sweeps skipped.
     """
 
     def __init__(
@@ -107,6 +114,7 @@ class HaloExchangeReconstructor:
         data_source: Optional[str] = None,
         batch_size: Optional[int] = None,
         prefetch: bool = False,
+        positions: Optional[Sequence[int]] = None,
     ) -> None:
         if iterations <= 0:
             raise ValueError("iterations must be positive")
@@ -131,6 +139,7 @@ class HaloExchangeReconstructor:
         self.data_source = data_source
         self.batch_size = batch_size
         self.prefetch = bool(prefetch)
+        self.positions = positions
 
     # ------------------------------------------------------------------
     def decompose(self, dataset: PtychoDataset) -> Decomposition:
@@ -155,13 +164,26 @@ class HaloExchangeReconstructor:
         image, so each halo voxel receives exactly one paste.
         """
         schedule = Schedule(decomp.n_ranks)
+        # A positions restriction (streaming coverage snapshot) keeps
+        # the decomposition on the full scan — tile shapes and the
+        # paste pattern never change — and only narrows each tile's
+        # local sweep to the covered probes, in the tile's own order.
+        active = resolve_positions(self.positions, decomp.scan.n_positions)
+        member = frozenset(active) if active is not None else None
         last: Dict[int, int] = {}
         for sweep in range(self.inner_sweeps):
             for tile in decomp.tiles:
+                probes = (
+                    tile.all_probes
+                    if member is None
+                    else tuple(p for p in tile.all_probes if p in member)
+                )
+                if not probes:
+                    continue
                 uid = schedule.add(
                     LocalSolve(
                         rank=tile.rank,
-                        probe_indices=tile.all_probes,
+                        probe_indices=probes,
                         lr=self.lr,
                     ),
                     deps=[last[tile.rank]] if tile.rank in last else [],

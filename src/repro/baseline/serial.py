@@ -20,7 +20,12 @@ import numpy as np
 from repro.backend.base import resolve_backend, resolve_precision
 from repro.core.reconstructor import ReconstructionResult
 from repro.core.decomposition import decompose_gradient
-from repro.data import BatchPlanner, open_store, resolve_batch_size
+from repro.data import (
+    BatchPlanner,
+    open_store,
+    resolve_batch_size,
+    resolve_positions,
+)
 from repro.core.observers import (
     IterationEmitter,
     Observer,
@@ -54,6 +59,10 @@ class SerialReconstructor:
         to per-position order.  The ``"sgd"`` scheme is inherently
         sequential (each step changes the volume the next probe reads),
         so it always evaluates per position.
+    positions:
+        Restrict sweeps to this scan-position subset in index order
+        (``None`` = the full scan) — how the streaming driver runs an
+        epoch over a coverage snapshot.
     """
 
     def __init__(
@@ -68,6 +77,7 @@ class SerialReconstructor:
         data_source: Optional[str] = None,
         batch_size: Optional[int] = None,
         prefetch: bool = False,
+        positions: Optional[Sequence[int]] = None,
     ) -> None:
         if iterations <= 0:
             raise ValueError("iterations must be positive")
@@ -85,6 +95,7 @@ class SerialReconstructor:
         self.data_source = data_source
         self.batch_size = resolve_batch_size(batch_size)
         self.prefetch = bool(prefetch)
+        self.positions = positions
 
     # ------------------------------------------------------------------
     def reconstruct(
@@ -140,12 +151,21 @@ class SerialReconstructor:
             self.data_source, dataset=dataset, prefetch=self.prefetch
         )
         planner = BatchPlanner(self.batch_size)
+        # Sweeps run in raster order over the active subset — the full
+        # scan unless a positions restriction (streaming coverage
+        # snapshot) narrows it.
+        active = resolve_positions(self.positions, dataset.n_probes)
+        indices = (
+            tuple(range(dataset.n_probes))
+            if active is None
+            else tuple(sorted(active))
+        )
         # In-memory stores account the full stack (the historical
         # number, byte for byte); out-of-core stores their chunk cache.
         peak_bytes = int(
             volume.nbytes
             + gradient.nbytes
-            + store.shard_nbytes(range(dataset.n_probes))
+            + store.shard_nbytes(indices)
         )
 
         def result_snapshot(history: List[float]) -> ReconstructionResult:
@@ -167,8 +187,8 @@ class SerialReconstructor:
 
         def sweep_per_position() -> float:
             cost = 0.0
-            for i, window in enumerate(windows):
-                sl = window.global_slices()
+            for i in indices:
+                sl = windows[i].global_slices()
                 patch = volume[:, sl[0], sl[1]]
                 result = model.cost_and_gradient(
                     probe, patch,
@@ -188,7 +208,7 @@ class SerialReconstructor:
             # Patch gathers, scatters and scalar accumulation stay in
             # probe order — bit-identical to the per-position sweep.
             cost = 0.0
-            for chunk in planner.iter_batches(range(dataset.n_probes)):
+            for chunk in planner.iter_batches(indices):
                 patches = np.stack(
                     [
                         volume[

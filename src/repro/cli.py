@@ -198,6 +198,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "overrides a config that pinned it on")
     rec.add_argument("--resume", default=None,
                      help="warm-start from a saved result archive")
+    rec.add_argument("--stream", action="store_true",
+                     help="replay the dataset as a live acquisition "
+                          "(frames arrive in waves while the solver runs; "
+                          "default schedule: 4 contiguous waves)")
+    rec.add_argument("--stream-schedule", metavar="JSON", default=None,
+                     help="scan-source spec for --stream: inline JSON or a "
+                          "path to a JSON file (implies --stream); see "
+                          "repro.data.build_scan_source for the schema")
     rec.add_argument("--trace", metavar="PATH", default=None,
                      help="record telemetry and write a Chrome trace-event "
                           "JSON here (open in chrome://tracing or Perfetto); "
@@ -428,6 +436,33 @@ def _explicit_solver_flags(args) -> List[str]:
     return flags
 
 
+def _stream_spec(args):
+    """The scan-source spec selected by --stream/--stream-schedule.
+
+    ``--stream-schedule`` takes inline JSON or a path to a JSON file and
+    implies ``--stream``; bare ``--stream`` replays the dataset in the
+    default 4 contiguous waves.  Returns ``None`` when neither is set.
+    """
+    import json
+    from pathlib import Path
+
+    if args.stream_schedule is not None:
+        text = args.stream_schedule
+        candidate = Path(text)
+        if candidate.is_file():
+            text = candidate.read_text()
+        spec = json.loads(text)
+        if not isinstance(spec, dict):
+            raise ValueError(
+                "--stream-schedule must be a JSON object "
+                '(e.g. {"kind": "replay", "waves": 4})'
+            )
+        return spec
+    if args.stream:
+        return {"kind": "replay", "waves": 4}
+    return None
+
+
 def _cmd_reconstruct(args) -> int:
     from pathlib import Path
 
@@ -481,6 +516,11 @@ def _cmd_reconstruct(args) -> int:
                 )
         else:
             config = _config_from_flags(args, dataset)
+        stream_spec = _stream_spec(args)
+        if stream_spec is not None:
+            # Like --resume, streaming *overrides* a config: the same
+            # archived run can be replayed as a live acquisition.
+            config = config.with_stream(scan_source=stream_spec)
         resume = config.run_params.get("resume")
         if resume is not None:
             print(f"resuming from {resume}")
@@ -506,6 +546,8 @@ def _cmd_reconstruct(args) -> int:
     path = save_result(args.out, result, config=config)
     print(f"solver: {config.solver}")
     print(f"backend: {config.backend} ({config.dtype})")
+    if config.scan_source is not None:
+        print(f"stream: {config.scan_source.get('kind', '?')} source")
     if config.data_source is not None or (
         config.batch_size is not None and config.batch_size > 1
     ):
@@ -714,6 +756,8 @@ def _cmd_jobs(args) -> int:
                               f"{update.iter_per_s:.2f} it/s")
                     if update.backend is not None:
                         detail += f" on {update.backend}/{update.dtype}"
+                    if update.coverage is not None:
+                        detail += f", cov {update.coverage:.0%}"
                     if update.phase is not None:
                         detail += f" [{update.phase}]"
             elif record.state == "FAILED" and record.error:

@@ -33,7 +33,7 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.reconstructor import ReconstructionResult
@@ -76,6 +76,11 @@ class IterationEvent:
         moment it is called* — call it during observation for the
         per-iteration state.  Lazy: only observers that need state
         (checkpointing, live imaging) pay the stitching cost.
+    coverage:
+        Fraction of advertised scan positions whose frames had arrived
+        when this iteration's sweep was planned, in (0, 1].  ``None``
+        for static runs — only the streaming driver stamps it (see
+        :mod:`repro.api.streaming`).
     """
 
     solver: str
@@ -89,6 +94,7 @@ class IterationEvent:
     snapshot: Callable[[], "ReconstructionResult"] = field(
         repr=False, compare=False
     )
+    coverage: Optional[float] = None
 
     @property
     def is_last(self) -> bool:

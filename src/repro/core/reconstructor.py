@@ -44,6 +44,7 @@ from repro.core.passes import (
     build_neighbor_exchanges,
 )
 from repro.core.stitching import stitch
+from repro.data.batching import resolve_positions
 from repro.parallel.topology import MeshLayout
 from repro.runtime.executor import EnginePlan, resolve_executor
 from repro.physics.dataset import PtychoDataset
@@ -205,6 +206,12 @@ class GradientDecompositionReconstructor:
         updates are order-dependent and always evaluate per position.
         ``None`` resolves ``REPRO_BATCH_SIZE``, else 1; every setting
         is fingerprint-identical to the per-position reference.
+    positions:
+        Restrict sweeps to this scan-position subset (``None`` = the
+        full scan).  The streaming driver plans each epoch over a
+        coverage snapshot this way; the decomposition stays on the full
+        scan, so a restricted run is exactly the full run with the
+        missing probes' gradient terms skipped.
     """
 
     def __init__(
@@ -227,6 +234,7 @@ class GradientDecompositionReconstructor:
         data_source: Optional[str] = None,
         batch_size: Optional[int] = None,
         prefetch: bool = False,
+        positions: Optional[Sequence[int]] = None,
     ) -> None:
         if iterations <= 0:
             raise ValueError("iterations must be positive")
@@ -260,6 +268,7 @@ class GradientDecompositionReconstructor:
         self.data_source = data_source
         self.batch_size = batch_size
         self.prefetch = bool(prefetch)
+        self.positions = positions
 
     # ------------------------------------------------------------------
     def decompose(self, dataset: PtychoDataset) -> Decomposition:
@@ -283,6 +292,17 @@ class GradientDecompositionReconstructor:
         pass_builder = _PLANNERS[self.planner]
         local_update = self.mode == "alg1"
         probe_lists = [t.probes for t in decomp.tiles]
+        # A positions restriction (streaming coverage snapshot) narrows
+        # each tile's sweep to the covered probes in the tile's own
+        # order; the decomposition, buffer exchanges and apply steps
+        # stay on the full scan.
+        active = resolve_positions(self.positions, decomp.scan.n_positions)
+        if active is not None:
+            member = frozenset(active)
+            probe_lists = [
+                tuple(p for p in probes if p in member)
+                for probes in probe_lists
+            ]
         rounds = _round_chunks(probe_lists, self.sync_period)
 
         last: Dict[int, int] = {}

@@ -8,7 +8,12 @@ Public surface:
 * batching — :class:`BatchPlanner` and the ``REPRO_BATCH_SIZE``
   resolution helpers;
 * prefetch — the background :class:`ChunkPrefetcher` the on-disk
-  stores share.
+  stores share;
+* streaming — the dynamic-acquisition layer: :class:`StreamingStore`
+  (appendable store with WAIT/END_OF_SCAN semantics), the
+  :class:`ScanSource` protocol with simulated/replay implementations,
+  the :class:`StreamFeeder` that pumps waves into a store, and the
+  :class:`StreamPolicy` run knobs.
 """
 
 from repro.data.batching import (
@@ -16,6 +21,7 @@ from repro.data.batching import (
     BatchPlanner,
     default_batch_size,
     resolve_batch_size,
+    resolve_positions,
 )
 from repro.data.prefetch import ChunkPrefetcher
 from repro.data.store import (
@@ -28,6 +34,19 @@ from repro.data.store import (
     open_store,
     write_store,
 )
+from repro.data.streaming import (
+    ReplayScanSource,
+    ScanSource,
+    ScanWave,
+    SimulatedScanSource,
+    StreamError,
+    StreamFeeder,
+    StreamingStore,
+    StreamPolicy,
+    StreamStatus,
+    StreamTimeout,
+    build_scan_source,
+)
 
 __all__ = [
     "BatchPlanner",
@@ -37,10 +56,22 @@ __all__ = [
     "ENV_BATCH_SIZE",
     "Hdf5Store",
     "InMemoryStore",
+    "ReplayScanSource",
+    "ScanSource",
+    "ScanWave",
+    "SimulatedScanSource",
     "StoreFormatError",
     "StoreUnavailableError",
+    "StreamError",
+    "StreamFeeder",
+    "StreamPolicy",
+    "StreamStatus",
+    "StreamTimeout",
+    "StreamingStore",
+    "build_scan_source",
     "default_batch_size",
     "open_store",
     "resolve_batch_size",
+    "resolve_positions",
     "write_store",
 ]

@@ -23,6 +23,7 @@ Batch size 1 *is* the historical engine behaviour, bit for bit.
 
 from __future__ import annotations
 
+import operator
 import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -33,6 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation only
 __all__ = [
     "BatchPlanner",
     "resolve_batch_size",
+    "resolve_positions",
     "default_batch_size",
     "ENV_BATCH_SIZE",
 ]
@@ -110,3 +112,58 @@ class BatchPlanner:
         if n_positions <= 0:
             return 0
         return -(-n_positions // self.batch_size)
+
+    def plan_covered(
+        self, indices: Sequence[int], covered: Sequence[int]
+    ) -> List[Tuple[int, ...]]:
+        """Batches over the covered subset of ``indices``.
+
+        The streaming driver plans each sweep against a coverage
+        snapshot: positions whose frames have not arrived are skipped,
+        everything else keeps its original order — so the batches
+        partition *exactly* the covered positions (property-tested in
+        ``tests/data/test_stream_properties.py``).
+        """
+        member = frozenset(covered)
+        return self.plan([i for i in indices if i in member])
+
+
+def resolve_positions(
+    positions: Optional[Sequence[int]], n_positions: int
+) -> Optional[Tuple[int, ...]]:
+    """Validate a solver's ``positions`` restriction.
+
+    ``None`` means the full scan (the static default).  Otherwise the
+    subset must be non-empty, duplicate-free ints inside
+    ``[0, n_positions)``; the *given order is preserved* — solvers
+    filter their own sweep order by membership, so the tuple order
+    never changes numerics, but keeping it stable keeps errors
+    readable.
+    """
+    if positions is None:
+        return None
+    out = []
+    seen = set()
+    for p in positions:
+        if isinstance(p, bool):
+            raise ValueError(f"positions must be ints, got {p!r}")
+        try:
+            p = operator.index(p)
+        except TypeError:
+            raise ValueError(
+                f"positions must be ints, got {p!r}"
+            ) from None
+        if not (0 <= p < n_positions):
+            raise ValueError(
+                f"position {p} out of range [0, {n_positions})"
+            )
+        if p in seen:
+            raise ValueError(f"position {p} listed twice")
+        seen.add(p)
+        out.append(int(p))
+    if not out:
+        raise ValueError(
+            "positions must name at least one scan position "
+            "(None means the full scan)"
+        )
+    return tuple(out)

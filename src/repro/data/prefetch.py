@@ -85,10 +85,18 @@ class ChunkPrefetcher:
         }
 
     def close(self) -> None:
-        """Drop pending work and join the worker.  Idempotent."""
+        """Drop pending work and join the worker.  Idempotent.
+
+        ``cancel_futures`` matters: without it a load still *queued* at
+        close time would run against a store that is concurrently
+        tearing down its file handle.  A load already *running* is
+        waited for (the store's IO lock serializes it against the
+        close), and cancelled futures are simply dropped — ``take``
+        treats their chunk as never scheduled.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             self._pending.clear()
-        self._pool.shutdown(wait=True)
+        self._pool.shutdown(wait=True, cancel_futures=True)

@@ -33,6 +33,7 @@ parity suite in ``tests/data`` pins.
 from __future__ import annotations
 
 import json
+import threading
 import time
 import zipfile
 from abc import ABC, abstractmethod
@@ -238,6 +239,15 @@ class ChunkedNpzStore(DiffractionStore):
         self._zip: Optional[zipfile.ZipFile] = None
         self._cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self._prefetcher: Optional[ChunkPrefetcher] = None
+        # Serializes chunk I/O against close(): the shared zip handle
+        # seeks, so concurrent member reads (prefetch worker vs caller)
+        # would corrupt each other, and a close racing an in-flight
+        # read could be undone by the lazy reopen in _zipfile() —
+        # leaking the file descriptor.  The lock makes close() wait for
+        # the in-flight read, and _closed makes every later read fail
+        # pointedly instead of silently reopening.
+        self._io_lock = threading.Lock()
+        self._closed = False
         self._meta = self._read_meta()
 
     # -- header --------------------------------------------------------
@@ -318,18 +328,27 @@ class ChunkedNpzStore(DiffractionStore):
 
     # -- chunk I/O -----------------------------------------------------
     def _zipfile(self) -> zipfile.ZipFile:
+        # Callers hold _io_lock.
+        if self._closed:
+            raise ValueError(
+                f"store {self.path} is closed; reads after close() are "
+                "a lifecycle bug (reopen via worker_copy() if needed)"
+            )
         if self._zip is None:
             self._zip = zipfile.ZipFile(self.path)
         return self._zip
 
+    def _read_chunk_member(self, ci: int) -> np.ndarray:
+        with self._io_lock:
+            with self._zipfile().open(_chunk_member(ci)) as member:
+                return np.lib.format.read_array(member, allow_pickle=False)
+
     def _load_chunk(self, ci: int) -> np.ndarray:
         tel = _obs.current()
         if not tel.enabled:
-            with self._zipfile().open(_chunk_member(ci)) as member:
-                return np.lib.format.read_array(member, allow_pickle=False)
+            return self._read_chunk_member(ci)
         t0 = time.perf_counter()
-        with self._zipfile().open(_chunk_member(ci)) as member:
-            chunk = np.lib.format.read_array(member, allow_pickle=False)
+        chunk = self._read_chunk_member(ci)
         tel.add({
             "store.chunk_load.calls": 1,
             "store.chunk_load.seconds": time.perf_counter() - t0,
@@ -372,20 +391,35 @@ class ChunkedNpzStore(DiffractionStore):
 
     # -- lifecycle / pickling ------------------------------------------
     def close(self) -> None:
-        if self._prefetcher is not None:
-            self._prefetcher.close()
-            self._prefetcher = None
-        if self._zip is not None:
-            self._zip.close()
-            self._zip = None
-        self._cache.clear()
+        # Order matters: stop the prefetch worker first (cancelling
+        # queued loads, waiting out a running one), *then* mark closed
+        # and drop the handle under the IO lock — an in-flight caller
+        # read finishes cleanly, and everything after it raises instead
+        # of lazily reopening the file it just watched close.
+        prefetcher, self._prefetcher = self._prefetcher, None
+        if prefetcher is not None:
+            prefetcher.close()
+        with self._io_lock:
+            self._closed = True
+            zf, self._zip = self._zip, None
+            self._cache.clear()
+        # Evicted under the lock, closed outside it: close() does file
+        # I/O and must not extend the critical section readers contend
+        # on.  _closed already makes any later _zipfile() call fail.
+        if zf is not None:
+            zf.close()
 
     def __getstate__(self):
         state = self.__dict__.copy()
         state["_zip"] = None
         state["_cache"] = OrderedDict()
         state["_prefetcher"] = None
+        del state["_io_lock"]
         return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._io_lock = threading.Lock()
 
     def worker_copy(self) -> "ChunkedNpzStore":
         return ChunkedNpzStore(

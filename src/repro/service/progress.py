@@ -54,6 +54,9 @@ class ProgressUpdate:
     backend: Optional[str] = None
     dtype: Optional[str] = None
     phase: Optional[str] = None
+    #: Streamed-acquisition coverage fraction in (0, 1] (``None`` for
+    #: static runs — only events from the streaming driver carry it).
+    coverage: Optional[float] = None
 
     @property
     def fraction(self) -> float:
@@ -119,6 +122,7 @@ class ProgressStream:
             backend=self.backend,
             dtype=self.dtype,
             phase=tel.phase_label() if tel.enabled else None,
+            coverage=event.coverage,
         )
         with self._cond:
             self._updates.append(update)

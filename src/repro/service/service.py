@@ -672,6 +672,13 @@ class ReconstructionService:
                     leg_config = leg_config.with_run_params(
                         resume=str(directory / record.seed)
                     )
+                if base_config.scan_source is not None and offset > 0:
+                    # A resumed streamed leg fast-forwards the feeder's
+                    # sweep clock so the frame journal the interrupted
+                    # leg had accumulated is rebuilt deterministically.
+                    leg_config = leg_config.with_run_params(
+                        stream_offset=offset
+                    )
                 observers = [stream]
                 if self.checkpoint_every is not None:
                     observers.append(

@@ -273,3 +273,66 @@ class TestHdf5Store:
             np.testing.assert_array_equal(
                 store.read_batch([5, 0, 2]), amplitudes[[5, 0, 2]]
             )
+
+
+class TestCloseRace:
+    """Regression: close() racing an in-flight chunk read used to let
+    the lazy ``_zipfile()`` reopen the archive *after* close — leaking
+    the file descriptor and leaving readers on a dead handle."""
+
+    def test_read_after_close_is_pointed(self, store_path):
+        store = ChunkedNpzStore(store_path, cache_chunks=1)
+        store.read(0)
+        store.close()
+        with pytest.raises(ValueError, match="closed"):
+            store.read(5)
+
+    def test_concurrent_reads_and_close_leak_no_fds(
+        self, store_path, amplitudes
+    ):
+        import threading
+
+        from tests.service.test_leaks import open_fds_for
+
+        n = amplitudes.shape[0]
+        for _ in range(5):
+            # cache_chunks=1 forces nearly every read through the zip
+            # handle, maximizing the close/read overlap window.
+            store = ChunkedNpzStore(store_path, cache_chunks=1)
+            errors = []
+
+            def reader():
+                try:
+                    for i in range(200):
+                        frame = store.read(i % n)
+                        assert frame.shape == amplitudes[0].shape
+                except ValueError as exc:
+                    # The only acceptable failure mode: a read landing
+                    # after close fails pointedly.
+                    assert "closed" in str(exc)
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    errors.append(exc)
+
+            thread = threading.Thread(target=reader)
+            thread.start()
+            store.close()
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+            assert errors == []
+            assert open_fds_for(store_path) == []
+
+    def test_prefetching_store_closes_without_leaking(
+        self, store_path, amplitudes
+    ):
+        from tests.service.test_leaks import open_fds_for
+
+        for _ in range(5):
+            store = ChunkedNpzStore(store_path, cache_chunks=1,
+                                    prefetch=True)
+            # Schedule background loads, then close immediately: the
+            # pool must cancel what has not started and wait out what
+            # has (cancel_futures in ChunkPrefetcher.close).
+            store.read(0)
+            store.read(4)
+            store.close()
+            assert open_fds_for(store_path) == []
