@@ -28,8 +28,10 @@ pipeline (:mod:`repro.data`): the gd solver (synchronous mode, the
 batchable configuration) per-position vs batched on the threaded
 backend — every batch size is bit-identical to batch 1, so the speedup
 is free — plus the same run streaming from a chunked on-disk store
-(with and without prefetch), and a raw store-read sweep (in-memory vs
-chunked).
+(with and without prefetch), a raw store-read sweep (in-memory vs
+chunked), and a mixed-state mode sweep (``probe_modes`` 1/2/4 with
+probe refinement) showing how the per-sweep cost scales with the
+number of incoherent probe modes.
 
 ``--suite service`` -> ``BENCH_service.json``.  The async job layer
 (:mod:`repro.service`): a batch of identical gd reconstructions
@@ -280,11 +282,13 @@ DATA_FULL_SIZES = {
     "gd_batched_recon": ((10, 10), 32, 3, 4, 2),
     "batch_sizes": [1, 8, 16],
     "store_chunk": 16,
+    "probe_mode_counts": [1, 2, 4],
 }
 DATA_SMOKE_SIZES = {
     "gd_batched_recon": ((4, 4), 16, 2, 4, 1),
     "batch_sizes": [1, 4],
     "store_chunk": 4,
+    "probe_mode_counts": [1, 2],
 }
 #: The data-suite baseline scenario: per-position, in-memory.
 DATA_BASELINE = {"batch_size": 1, "store": "memory"}
@@ -315,6 +319,27 @@ def bench_gd_batched(dataset, batch_size, data_source, prefetch,
         n_ranks=n_ranks, iterations=iters, lr=lr, mode="synchronous",
         backend="threaded", dtype="complex64",
         data_source=data_source, batch_size=batch_size, prefetch=prefetch,
+    )
+
+    def run():
+        solver.reconstruct(dataset)
+
+    return _best_of(run, repeats)
+
+
+def bench_gd_modes(dataset, probe_modes, sizes, repeats) -> float:
+    """End-to-end mixed-state gd reconstruction (probe refinement on,
+    so the full per-mode gradient + SVD re-orthogonalization path is
+    on the clock); ``probe_modes=1`` is the scalar baseline."""
+    from repro.core.reconstructor import GradientDecompositionReconstructor
+
+    _, _, _, n_ranks, iters = sizes["gd_batched_recon"]
+    lr = suggest_lr(dataset, alpha=0.35)
+    solver = GradientDecompositionReconstructor(
+        n_ranks=n_ranks, iterations=iters, lr=lr, mode="synchronous",
+        backend="threaded", dtype="complex64",
+        refine_probe=True, probe_modes=probe_modes,
+        batch_size=sizes["batch_sizes"][-1],
     )
 
     def run():
@@ -384,12 +409,32 @@ def run_data_suite(sizes, repeats, store_dir) -> List[Dict]:
             "seconds": seconds,
         })
 
+    for probe_modes in sizes["probe_mode_counts"]:
+        seconds = bench_gd_modes(dataset, probe_modes, sizes, repeats)
+        results.append({
+            "bench": "gd_mixed_state_recon",
+            "batch_size": sizes["batch_sizes"][-1],
+            "store": "memory",
+            "prefetch": False,
+            "probe_modes": probe_modes,
+            "n_ranks": n_ranks,
+            "iterations": iters,
+            "seconds": seconds,
+        })
+
     base = {
         r["bench"]: r["seconds"]
         for r in results
         if r["store"] == "memory"
         and r["batch_size"] in (DATA_BASELINE["batch_size"], None)
     }
+    # The mode sweep's baseline is its own scalar (M=1) run, not the
+    # per-position scenario — the interesting number is the marginal
+    # cost of each extra incoherent mode.
+    base["gd_mixed_state_recon"] = next(
+        r["seconds"] for r in results
+        if r["bench"] == "gd_mixed_state_recon" and r["probe_modes"] == 1
+    )
     for r in results:
         ref = base.get(r["bench"])
         r["speedup_vs_baseline"] = ref / r["seconds"] if ref else None
@@ -620,6 +665,7 @@ def _run_data_suite(args) -> Path:
             ],
             "batch_sizes": list(sizes["batch_sizes"]),
             "store_chunk": sizes["store_chunk"],
+            "probe_mode_counts": list(sizes["probe_mode_counts"]),
         },
         "repeats": repeats,
         "results": results,
@@ -629,7 +675,8 @@ def _run_data_suite(args) -> Path:
 
     rows = [
         [
-            r["bench"],
+            r["bench"]
+            + (f" M={r['probe_modes']}" if "probe_modes" in r else ""),
             r["batch_size"] if r["batch_size"] is not None else "-",
             r["store"] + ("+pf" if r["prefetch"] is True else ""),
             f"{r['seconds'] * 1e3:.1f}",
@@ -639,7 +686,7 @@ def _run_data_suite(args) -> Path:
         for r in results
     ]
     print(format_table(
-        ["bench", "batch", "store", "ms", "vs batch1/mem"],
+        ["bench", "batch", "store", "ms", "vs baseline"],
         rows,
         title=f"data benchmarks ({payload['mode']}) -> {out}",
     ))

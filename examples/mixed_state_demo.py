@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Mixed-state (multi-mode) probe reconstruction.
+
+Real illumination is partially coherent: the detector records an
+*incoherent* sum of intensities over a few orthogonal probe modes.  A
+single-mode model cannot explain such data — its best fit stalls at a
+cost floor set by the coherence of the beam.  This demo:
+
+1. simulates a partially coherent acquisition (2-mode illumination,
+   ``simulate_dataset(..., probe_modes=2)``),
+2. reconstructs it with the scalar model and with ``probe_modes=2``,
+3. shows the mixed-state model descending through the scalar model's
+   floor, and the recovered mode stack's energy ordering,
+4. round-trips the ``(M, w, w)`` stack through a result archive and
+   resumes from it bit-exactly.
+
+Run:
+    python examples/mixed_state_demo.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro import ReconstructionConfig
+from repro.io import load_result, save_result
+
+
+def make_dataset():
+    spec = repro.scaled_pbtio3_spec(
+        scan_grid=(4, 4), detector_px=16, n_slices=2, overlap_ratio=0.7
+    )
+    return repro.simulate_dataset(spec, seed=17, probe_modes=2)
+
+
+def config(probe_modes=None, iterations=8):
+    return ReconstructionConfig(
+        solver="gd",
+        solver_params={
+            "n_ranks": 4,
+            "iterations": iterations,
+            "lr": 0.02,
+            "mode": "synchronous",
+            "refine_probe": True,
+        },
+        probe_modes=probe_modes,
+    )
+
+
+def main() -> None:
+    dataset = make_dataset()
+    print("partially coherent acquisition (2-mode illumination):")
+    print(f"  {dataset.scan.n_positions} positions, "
+          f"{dataset.probe.window}px probe window\n")
+
+    scalar = repro.reconstruct(dataset, config())
+    mixed = repro.reconstruct(dataset, config(probe_modes=2))
+
+    print("cost history (same solver, scalar vs 2-mode probe):")
+    for it, (s, m) in enumerate(zip(scalar.history, mixed.history)):
+        print(f"  iter {it:2d}   scalar {s:10.4e}   mixed {m:10.4e}")
+    ratio = scalar.history[-1] / mixed.history[-1]
+    print(f"\n  mixed-state final cost is {ratio:.1f}x lower — the "
+          "incoherent 2-mode model explains the partial coherence the "
+          "scalar model cannot.\n")
+
+    powers = np.sum(np.abs(mixed.probe) ** 2, axis=(-2, -1))
+    total = powers.sum()
+    print(f"recovered mode stack: shape {mixed.probe.shape}, "
+          "energy-ordered after per-sweep SVD orthogonalization:")
+    for m, p in enumerate(powers):
+        print(f"  mode {m}: {100 * p / total:5.1f}% of probe power")
+
+    # The (M, w, w) stack survives archives: resume from a saved half
+    # run and land bit-for-bit on the uninterrupted result.
+    with tempfile.TemporaryDirectory() as tmp:
+        half = repro.reconstruct(dataset, config(probe_modes=2, iterations=4))
+        archive = load_result(save_result(Path(tmp) / "half.npz", half))
+        resumed = repro.reconstruct(
+            dataset,
+            config(probe_modes=2, iterations=4),
+            initial_volume=archive.volume,
+            initial_probe=archive.probe,
+        )
+    exact = np.array_equal(resumed.volume, mixed.volume) and np.array_equal(
+        resumed.probe, mixed.probe
+    )
+    print(f"\narchive round trip: 4+4 iterations == 8 straight: "
+          f"{'bit-exact' if exact else 'MISMATCH'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,7 +34,7 @@ __all__ = ["ReconstructionConfig"]
 #: and complex64 both change the bits, so ``backend``/``dtype`` are
 #: numeric, not placement detail.
 _FINGERPRINT_NUMERIC_FIELDS = frozenset(
-    {"solver", "solver_params", "backend", "dtype"}
+    {"solver", "solver_params", "backend", "dtype", "probe_modes"}
 )
 
 #: Config fields that never change a run's numerics — *where* and *how
@@ -91,6 +91,7 @@ _CONFIG_KEYS = (
     "data_source",
     "batch_size",
     "prefetch",
+    "probe_modes",
     "telemetry",
     "scan_source",
     "stream_policy",
@@ -177,6 +178,14 @@ class ReconstructionConfig:
     prefetch:
         Overlap on-disk chunk I/O with compute (``None`` = ambient
         default, off).
+    probe_modes:
+        Number of incoherent probe modes (mixed-state reconstruction,
+        see :mod:`repro.physics.probe`).  ``None``/1 is the scalar
+        path, bit-identical to the historical behaviour — and
+        fingerprint-identical to pre-mixed-state archives; ``M > 1``
+        changes the forward model (incoherent intensity sum over an
+        ``(M, w, w)`` mode stack) and therefore the numerics, so it
+        *is* hashed into the fingerprint.
     telemetry:
         Record tracing spans and counters during the run (see
         :mod:`repro.obs`); ``None`` follows the ambient default
@@ -210,6 +219,7 @@ class ReconstructionConfig:
     data_source: Optional[str] = None
     batch_size: Optional[int] = None
     prefetch: Optional[bool] = None
+    probe_modes: Optional[int] = None
     telemetry: Optional[bool] = None
     scan_source: Optional[Mapping[str, Any]] = None
     stream_policy: Optional[Mapping[str, Any]] = None
@@ -243,6 +253,12 @@ class ReconstructionConfig:
             raise ValueError("batch_size must be a positive int or None")
         if self.prefetch is not None and not isinstance(self.prefetch, bool):
             raise ValueError("prefetch must be a bool or None")
+        if self.probe_modes is not None and (
+            not isinstance(self.probe_modes, int)
+            or isinstance(self.probe_modes, bool)
+            or self.probe_modes <= 0
+        ):
+            raise ValueError("probe_modes must be a positive int or None")
         if self.telemetry is not None and not isinstance(self.telemetry, bool):
             raise ValueError("telemetry must be a bool or None")
         # Validates the name only (whether the backend is *registered/
@@ -294,6 +310,7 @@ class ReconstructionConfig:
             "data_source": self.data_source,
             "batch_size": self.batch_size,
             "prefetch": self.prefetch,
+            "probe_modes": self.probe_modes,
             "telemetry": self.telemetry,
             "scan_source": (
                 _normalize_mapping(self.scan_source, "scan_source")
@@ -337,6 +354,7 @@ class ReconstructionConfig:
             data_source=payload.get("data_source"),
             batch_size=payload.get("batch_size"),
             prefetch=payload.get("prefetch"),
+            probe_modes=payload.get("probe_modes"),
             telemetry=payload.get("telemetry"),
             scan_source=payload.get("scan_source"),
             stream_policy=payload.get("stream_policy"),
@@ -388,15 +406,18 @@ class ReconstructionConfig:
             for k, v in sorted(self.solver_params.items())
             if k not in _FINGERPRINT_NEUTRAL_KEYS
         }
-        payload = json.dumps(
-            {
-                "solver": self.solver,
-                "solver_params": params,
-                "backend": backend,
-                "dtype": dtype,
-            },
-            sort_keys=True,
-        )
+        body: Dict[str, Any] = {
+            "solver": self.solver,
+            "solver_params": params,
+            "backend": backend,
+            "dtype": dtype,
+        }
+        # Single-mode (None or 1) is bit-identical to the historical
+        # scalar path, so it must hash to the historical bytes — the
+        # key only enters the payload for genuinely mixed-state runs.
+        if self.probe_modes is not None and self.probe_modes > 1:
+            body["probe_modes"] = int(self.probe_modes)
+        payload = json.dumps(body, sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()
 
     # -- derivation ----------------------------------------------------
@@ -457,6 +478,14 @@ class ReconstructionConfig:
             batch_size=batch_size,
             prefetch=prefetch,
         )
+
+    def with_probe(
+        self, probe_modes: Optional[int] = None
+    ) -> "ReconstructionConfig":
+        """New config with the probe mode count replaced (``None`` keeps
+        the current value) — how ``repro reconstruct --probe-modes``
+        overrides an archived config's mixed-state setting."""
+        return self._replace(probe_modes=probe_modes)
 
     def with_telemetry(self, telemetry: bool = True) -> "ReconstructionConfig":
         """New config with telemetry recording pinned on (or off) —

@@ -153,6 +153,7 @@ def solver_from_config(config: "ReconstructionConfig") -> Solver:
         ("data_source", config.data_source),
         ("batch_size", config.batch_size),
         ("prefetch", config.prefetch),
+        ("probe_modes", config.probe_modes),
     ):
         if key in params:
             # The solver_params spelling (direct class use) must not

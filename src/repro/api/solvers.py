@@ -119,6 +119,7 @@ class GradientDecompositionSolver(SolverAdapter):
             "batch_size",
             "prefetch",
             "positions",
+            "probe_modes",
         }
     )
 
@@ -169,6 +170,7 @@ class HaloExchangeSolver(SolverAdapter):
             "batch_size",
             "prefetch",
             "positions",
+            "probe_modes",
         }
     )
 
@@ -204,7 +206,7 @@ class SerialSolver(SolverAdapter):
     accepted_params = frozenset(
         {"iterations", "lr", "scheme", "refine_probe", "probe_lr",
          "backend", "dtype", "data_source", "batch_size", "prefetch",
-         "positions"}
+         "positions", "probe_modes"}
     )
 
     def _build(self, params: Dict[str, Any]) -> SerialReconstructor:

@@ -163,6 +163,7 @@ def _epoch_config(
         runtime_workers=config.runtime_workers,
         batch_size=config.batch_size,
         prefetch=config.prefetch,
+        probe_modes=config.probe_modes,
         telemetry=config.telemetry,
     )
 

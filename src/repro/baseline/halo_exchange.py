@@ -95,6 +95,12 @@ class HaloExchangeReconstructor:
         coverage snapshot this way; the decomposition and exchange
         pattern stay on the full scan, so a restricted run is exactly
         the full run with the missing probes' sweeps skipped.
+    probe_modes:
+        Number of incoherent probe modes (mixed-state forward model;
+        ``None``/1 is the bit-identical scalar path).  This baseline
+        never refines the probe, so modes only enter the forward model:
+        measured intensity is matched against the incoherent sum over
+        the deterministic mode stack expanded from the dataset probe.
     """
 
     def __init__(
@@ -115,6 +121,7 @@ class HaloExchangeReconstructor:
         batch_size: Optional[int] = None,
         prefetch: bool = False,
         positions: Optional[Sequence[int]] = None,
+        probe_modes: Optional[int] = None,
     ) -> None:
         if iterations <= 0:
             raise ValueError("iterations must be positive")
@@ -122,6 +129,8 @@ class HaloExchangeReconstructor:
             raise ValueError("inner_sweeps must be positive")
         if runtime_workers is not None and runtime_workers <= 0:
             raise ValueError("runtime_workers must be positive")
+        if probe_modes is not None and probe_modes <= 0:
+            raise ValueError("probe_modes must be positive")
         self.n_ranks = n_ranks
         self.mesh = mesh
         self.iterations = iterations
@@ -140,6 +149,7 @@ class HaloExchangeReconstructor:
         self.batch_size = batch_size
         self.prefetch = bool(prefetch)
         self.positions = positions
+        self.probe_modes = probe_modes
 
     # ------------------------------------------------------------------
     def decompose(self, dataset: PtychoDataset) -> Decomposition:
@@ -264,6 +274,7 @@ class HaloExchangeReconstructor:
                 data_source=self.data_source,
                 batch_size=self.batch_size,
                 prefetch=self.prefetch,
+                probe_modes=self.probe_modes,
                 telemetry=tel.enabled,
             )
         )

@@ -32,6 +32,7 @@ from repro.core.observers import (
     warn_legacy_callback,
 )
 from repro.physics.dataset import PtychoDataset
+from repro.physics.probe import make_mode_stack, orthogonalize_modes
 
 __all__ = ["SerialReconstructor"]
 
@@ -63,6 +64,13 @@ class SerialReconstructor:
         Restrict sweeps to this scan-position subset in index order
         (``None`` = the full scan) — how the streaming driver runs an
         epoch over a coverage snapshot.
+    probe_modes:
+        Number of incoherent probe modes (mixed-state reconstruction;
+        ``None``/1 is the bit-identical scalar path).  ``M > 1``
+        carries an ``(M, w, w)`` stack through the sweeps; with
+        ``refine_probe=True`` the per-mode gradient step is followed by
+        an SVD re-orthogonalization each iteration, mirroring the
+        distributed engine's ``OrthogonalizeProbe`` phase.
     """
 
     def __init__(
@@ -78,6 +86,7 @@ class SerialReconstructor:
         batch_size: Optional[int] = None,
         prefetch: bool = False,
         positions: Optional[Sequence[int]] = None,
+        probe_modes: Optional[int] = None,
     ) -> None:
         if iterations <= 0:
             raise ValueError("iterations must be positive")
@@ -85,6 +94,8 @@ class SerialReconstructor:
             raise ValueError(f"unknown scheme {scheme!r}")
         if probe_lr is not None and probe_lr <= 0:
             raise ValueError("probe_lr must be positive")
+        if probe_modes is not None and probe_modes <= 0:
+            raise ValueError("probe_modes must be positive")
         self.iterations = iterations
         self.lr = float(lr)
         self.scheme = scheme
@@ -96,6 +107,7 @@ class SerialReconstructor:
         self.batch_size = resolve_batch_size(batch_size)
         self.prefetch = bool(prefetch)
         self.positions = positions
+        self.probe_modes = probe_modes
 
     # ------------------------------------------------------------------
     def reconstruct(
@@ -122,11 +134,38 @@ class SerialReconstructor:
         precision = resolve_precision(self.dtype)
         cdtype = precision.complex_dtype
         model = dataset.multislice_model(backend=backend, dtype=precision)
-        probe = (
-            np.asarray(initial_probe, dtype=cdtype).copy()
-            if initial_probe is not None
-            else np.asarray(dataset.probe.array, dtype=cdtype).copy()
-        )
+        n_modes = 1 if self.probe_modes is None else int(self.probe_modes)
+        scalar_shape = dataset.probe.array.shape
+        if n_modes > 1:
+            base = (
+                np.asarray(initial_probe)
+                if initial_probe is not None
+                else dataset.probe.array
+            )
+            if base.ndim == 2:
+                # Deterministic expansion — identical to the engine's.
+                probe = np.asarray(
+                    make_mode_stack(base, n_modes), dtype=cdtype
+                )
+            elif base.shape == (n_modes,) + scalar_shape:
+                probe = np.asarray(base, dtype=cdtype).copy()
+            else:
+                raise ValueError(
+                    f"initial probe shape {base.shape} != "
+                    f"{(n_modes,) + scalar_shape} (or scalar "
+                    f"{scalar_shape})"
+                )
+        else:
+            arr = (
+                np.asarray(initial_probe)
+                if initial_probe is not None
+                else dataset.probe.array
+            )
+            if arr.ndim == 3 and arr.shape == (1,) + scalar_shape:
+                # Single-mode stacks squeeze to the scalar probe so M=1
+                # stays bit-identical to the historical path.
+                arr = arr[0]
+            probe = np.asarray(arr, dtype=cdtype).copy()
         volume = (
             np.asarray(initial_volume, dtype=cdtype).copy()
             if initial_volume is not None
@@ -236,7 +275,11 @@ class SerialReconstructor:
                         self.refine_probe
                         and result.probe_grads is not None
                     ):
-                        probe_gradient[...] += result.probe_grads[b]
+                        if result.probe_grads.ndim == 4:
+                            # Mixed-state stack (M, B, w, w).
+                            probe_gradient[...] += result.probe_grads[:, b]
+                        else:
+                            probe_gradient[...] += result.probe_grads[b]
             return cost
 
         history: List[float] = []
@@ -251,6 +294,10 @@ class SerialReconstructor:
                     volume -= self.lr * gradient
                 if self.refine_probe:
                     probe -= probe_step * probe_gradient
+                    if n_modes > 1:
+                        # Per-sweep SVD relaxation, matching the
+                        # engine's OrthogonalizeProbe phase.
+                        probe[...] = orthogonalize_modes(probe)
                 history.append(cost)
                 if callback is not None:
                     callback(it, cost, volume)

@@ -196,6 +196,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="overlap on-disk chunk reads with compute "
                           "(on-disk --data-store only); --no-prefetch "
                           "overrides a config that pinned it on")
+    rec.add_argument("--probe-modes", type=int, default=None,
+                     help="incoherent probe modes for mixed-state "
+                          "reconstruction (default 1 = scalar probe, "
+                          "bit-identical to the historical path); with "
+                          "--config, overrides the config's probe_modes")
     rec.add_argument("--resume", default=None,
                      help="warm-start from a saved result archive")
     rec.add_argument("--stream", action="store_true",
@@ -411,6 +416,15 @@ def _config_from_flags(args, dataset) -> "ReconstructionConfig":
                     f"{args.algorithm!r} (accepted parameters: "
                     f"{', '.join(sorted(accepted))})"
                 )
+    probe_modes = None
+    if "probe_modes" in accepted:
+        probe_modes = args.probe_modes
+    elif args.probe_modes is not None:
+        raise SolverCapabilityError(
+            f"--probe-modes is not supported by solver "
+            f"{args.algorithm!r} (accepted parameters: "
+            f"{', '.join(sorted(accepted))})"
+        )
     return ReconstructionConfig(
         solver=args.algorithm,
         solver_params=params,
@@ -422,6 +436,7 @@ def _config_from_flags(args, dataset) -> "ReconstructionConfig":
         data_source=data_source,
         batch_size=batch_size,
         prefetch=prefetch,
+        probe_modes=probe_modes,
     )
 
 
@@ -514,6 +529,8 @@ def _cmd_reconstruct(args) -> int:
                     batch_size=args.batch_size,
                     prefetch=args.prefetch,
                 )
+            if args.probe_modes is not None:
+                config = config.with_probe(probe_modes=args.probe_modes)
         else:
             config = _config_from_flags(args, dataset)
         stream_spec = _stream_spec(args)
@@ -546,6 +563,8 @@ def _cmd_reconstruct(args) -> int:
     path = save_result(args.out, result, config=config)
     print(f"solver: {config.solver}")
     print(f"backend: {config.backend} ({config.dtype})")
+    if config.probe_modes is not None and config.probe_modes > 1:
+        print(f"probe modes: {config.probe_modes} (mixed-state)")
     if config.scan_source is not None:
         print(f"stream: {config.scan_source.get('kind', '?')} source")
     if config.data_source is not None or (

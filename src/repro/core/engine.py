@@ -56,6 +56,7 @@ from repro.parallel.comm import VirtualComm
 from repro.parallel.memory import MemoryTracker
 from repro.physics.dataset import PtychoDataset
 from repro.physics.multislice import MultisliceModel
+from repro.physics.probe import make_mode_stack, orthogonalize_modes
 from repro.schedule.ops import (
     AllReduceGradient,
     ApplyBufferUpdate,
@@ -65,6 +66,7 @@ from repro.schedule.ops import (
     ComputeGradients,
     LocalSolve,
     Op,
+    OrthogonalizeProbe,
     ProbeSync,
     ResetBuffer,
     Schedule,
@@ -88,6 +90,7 @@ _PHASE_OF = {
     Barrier: "engine.barrier",
     ProbeSync: "engine.probe_sync",
     ApplyProbeUpdate: "engine.apply",
+    OrthogonalizeProbe: "engine.orthogonalize",
 }
 
 
@@ -130,7 +133,18 @@ class NumericEngine:
         DESIGN.md Sec. 6).
     initial_probe:
         Override the dataset's (true) probe as the reconstruction's probe
-        estimate — the starting point for probe refinement.
+        estimate — the starting point for probe refinement.  Either a
+        scalar ``(w, w)`` probe or an ``(M, w, w)`` mode stack matching
+        ``probe_modes``; a scalar probe under ``probe_modes > 1`` is
+        deterministically expanded (see
+        :func:`repro.physics.probe.make_mode_stack`).
+    probe_modes:
+        Number of incoherent probe modes (mixed-state reconstruction).
+        ``None``/1 keeps the scalar ``(w, w)`` representation and is
+        bit-identical to the historical path; ``M > 1`` holds an
+        ``(M, w, w)`` stack — the forward model sums intensity over
+        modes, probe gradients/sync/updates are per-mode, and
+        :class:`OrthogonalizeProbe` ops re-orthogonalize the stack.
     refine_probe:
         Allocate per-rank probe copies + gradient buffers and accumulate
         probe gradients during compute ops (consumed by
@@ -196,6 +210,7 @@ class NumericEngine:
         data_source: Union[str, DiffractionStore, None] = None,
         batch_size: Optional[int] = None,
         prefetch: bool = False,
+        probe_modes: Optional[int] = None,
     ) -> None:
         self.dataset = dataset
         self.decomp = decomp
@@ -232,23 +247,60 @@ class NumericEngine:
         self.memory = memory if memory is not None else MemoryTracker(decomp.n_ranks)
         self.compensate_local = compensate_local
         self.refine_probe = refine_probe
+        if probe_modes is None:
+            self.probe_modes = 1
+        else:
+            self.probe_modes = int(probe_modes)
+            if self.probe_modes < 1:
+                raise ValueError("probe_modes must be a positive integer")
         self.backend = resolve_backend(backend)
         self.precision = resolve_precision(dtype)
         self._cdtype = self.precision.complex_dtype
         self.model: MultisliceModel = dataset.multislice_model(
             backend=self.backend, dtype=self.precision
         )
-        if initial_probe is not None:
-            expected = dataset.probe.array.shape
-            if initial_probe.shape != expected:
-                raise ValueError(
-                    f"initial probe shape {initial_probe.shape} != {expected}"
+        scalar_shape = dataset.probe.array.shape
+        if self.probe_modes > 1:
+            stack_shape = (self.probe_modes,) + scalar_shape
+            if initial_probe is None:
+                # Deterministic expansion of the dataset probe.
+                self.probe = np.asarray(
+                    make_mode_stack(dataset.probe.array, self.probe_modes),
+                    dtype=self._cdtype,
                 )
-            self.probe = np.asarray(initial_probe, dtype=self._cdtype)
+            elif initial_probe.shape == stack_shape:
+                self.probe = np.asarray(initial_probe, dtype=self._cdtype)
+            elif initial_probe.shape == scalar_shape:
+                # Warm-starting a mixed-state run from a scalar probe
+                # (e.g. a single-mode archive) expands it the same
+                # deterministic way the cold start does.
+                self.probe = np.asarray(
+                    make_mode_stack(initial_probe, self.probe_modes),
+                    dtype=self._cdtype,
+                )
+            else:
+                raise ValueError(
+                    f"initial probe shape {initial_probe.shape} != "
+                    f"{stack_shape} (or scalar {scalar_shape})"
+                )
         else:
-            self.probe = np.asarray(
-                dataset.probe.array, dtype=self._cdtype
-            )
+            if initial_probe is not None:
+                arr = np.asarray(initial_probe)
+                if arr.ndim == 3 and arr.shape == (1,) + scalar_shape:
+                    # A single-mode stack is the scalar probe: squeeze so
+                    # the M=1 path stays bit-identical to the historical
+                    # scalar representation everywhere downstream.
+                    arr = arr[0]
+                if arr.shape != scalar_shape:
+                    raise ValueError(
+                        f"initial probe shape {initial_probe.shape} != "
+                        f"{scalar_shape}"
+                    )
+                self.probe = np.asarray(arr, dtype=self._cdtype)
+            else:
+                self.probe = np.asarray(
+                    dataset.probe.array, dtype=self._cdtype
+                )
         self.n_slices = dataset.n_slices
         if initial_volume is not None:
             expected = (self.n_slices, *dataset.object_shape)
@@ -279,6 +331,7 @@ class NumericEngine:
             Barrier: self._op_barrier,
             ProbeSync: self._op_probe_sync,
             ApplyProbeUpdate: self._op_probe_update,
+            OrthogonalizeProbe: self._op_orthogonalize,
         }
 
     # ------------------------------------------------------------------
@@ -584,7 +637,11 @@ class NumericEngine:
                 if state.localbuf is not None:
                     self._scatter(state.localbuf, state, window, grad)
                 if self.refine_probe and result.probe_grads is not None:
-                    state.probe_grad += result.probe_grads[b]
+                    if result.probe_grads.ndim == 4:
+                        # Mixed-state stack: (M, B, w, w), item b is [:, b].
+                        state.probe_grad += result.probe_grads[:, b]
+                    else:
+                        state.probe_grad += result.probe_grads[b]
 
     def _op_local_solve(self, op: LocalSolve) -> None:
         """Halo Voxel Exchange local phase: plain SGD on the extended tile
@@ -721,3 +778,9 @@ class NumericEngine:
             raise RuntimeError("ApplyProbeUpdate without refine_probe=True")
         state.probe -= op.lr * state.probe_grad
         state.probe_grad[...] = 0.0
+
+    def _op_orthogonalize(self, op: OrthogonalizeProbe) -> None:
+        state = self._state(op.rank)
+        if state.probe is None:
+            raise RuntimeError("OrthogonalizeProbe without refine_probe=True")
+        state.probe[...] = orthogonalize_modes(state.probe)

@@ -52,6 +52,7 @@ from repro.schedule.ops import (
     ApplyBufferUpdate,
     ApplyProbeUpdate,
     ComputeGradients,
+    OrthogonalizeProbe,
     ProbeSync,
     ResetBuffer,
     Schedule,
@@ -212,6 +213,13 @@ class GradientDecompositionReconstructor:
         coverage snapshot this way; the decomposition stays on the full
         scan, so a restricted run is exactly the full run with the
         missing probes' gradient terms skipped.
+    probe_modes:
+        Number of incoherent probe modes (mixed-state reconstruction,
+        see :mod:`repro.physics.probe`).  ``None``/1 is the scalar path,
+        bit-identical to the historical behaviour; ``M > 1`` carries an
+        ``(M, w, w)`` mode stack through the engine and schedules an
+        :class:`OrthogonalizeProbe` pass after each probe update when
+        ``refine_probe=True``.
     """
 
     def __init__(
@@ -235,6 +243,7 @@ class GradientDecompositionReconstructor:
         batch_size: Optional[int] = None,
         prefetch: bool = False,
         positions: Optional[Sequence[int]] = None,
+        probe_modes: Optional[int] = None,
     ) -> None:
         if iterations <= 0:
             raise ValueError("iterations must be positive")
@@ -250,6 +259,8 @@ class GradientDecompositionReconstructor:
             raise ValueError("runtime_workers must be positive")
         if batch_size is not None and batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if probe_modes is not None and probe_modes <= 0:
+            raise ValueError("probe_modes must be positive")
         self.n_ranks = n_ranks
         self.mesh = mesh
         self.iterations = iterations
@@ -269,6 +280,7 @@ class GradientDecompositionReconstructor:
         self.batch_size = batch_size
         self.prefetch = bool(prefetch)
         self.positions = positions
+        self.probe_modes = probe_modes
 
     # ------------------------------------------------------------------
     def decompose(self, dataset: PtychoDataset) -> Decomposition:
@@ -335,6 +347,7 @@ class GradientDecompositionReconstructor:
                 ProbeSync(n_ranks=decomp.n_ranks),
                 deps=sorted(set(last.values())),
             )
+            multi_mode = self.probe_modes is not None and self.probe_modes > 1
             for rank in range(decomp.n_ranks):
                 last[rank] = schedule.add(
                     ApplyProbeUpdate(
@@ -342,6 +355,13 @@ class GradientDecompositionReconstructor:
                     ),
                     deps=[uid],
                 )
+                if multi_mode:
+                    # Mixed-state runs re-orthogonalize the mode stack
+                    # after every probe step; never scheduled at M=1 so
+                    # single-mode schedules stay identical to scalar ones.
+                    last[rank] = schedule.add(
+                        OrthogonalizeProbe(rank=rank), deps=[last[rank]]
+                    )
         schedule.validate()
         return schedule
 
@@ -422,6 +442,7 @@ class GradientDecompositionReconstructor:
                 data_source=self.data_source,
                 batch_size=self.batch_size,
                 prefetch=self.prefetch,
+                probe_modes=self.probe_modes,
                 telemetry=tel.enabled,
             )
         )

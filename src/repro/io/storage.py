@@ -136,6 +136,11 @@ class ResultArchive:
     message_bytes: int
     peak_memory_per_rank: List[int]
     n_ranks: int
+    #: Refined probe estimate, when the run refined one.  Shape is the
+    #: discriminator: ``(w, w)`` is a scalar (single-mode) probe —
+    #: every legacy archive — and ``(M, w, w)`` is a mixed-state mode
+    #: stack.  npz stores shapes exactly, so the two never collide and
+    #: a resumed mixed-state run gets its stack back bit for bit.
     probe: Optional[np.ndarray] = None
     #: The resolved config the run was produced from, when the writer
     #: embedded one (``save_result(..., config=...)``); replay it with

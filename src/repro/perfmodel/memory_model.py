@@ -9,9 +9,11 @@ component          bytes
 measurements       ``n_probes(rank) * det^2 * meas_itemsize``
 volume (ext tile)  ``ext.area * n_slices * volume_itemsize``
 gradient buffer    same as volume (Gradient Decomposition only)
-probe              ``det^2 * volume_itemsize``
-workspace          ``machine.workspace_bytes(det)`` (FFT scratch at the
-                   machine's ``workspace_dtype`` width)
+probe              ``M * det^2 * volume_itemsize`` (``M`` = probe modes;
+                   1 for scalar runs)
+workspace          ``M * machine.workspace_bytes(det)`` (FFT scratch at
+                   the machine's ``workspace_dtype`` width; every mode
+                   sweeps through it)
 fixed overhead     framework/context constant
 =================  =====================================================
 
@@ -98,6 +100,11 @@ class MemoryModel:
     include_fixed:
         Disable to model *algorithmic* memory only (used when comparing
         against the numeric engine, which has no framework overhead).
+    probe_modes:
+        Number of incoherent probe modes (``None``/1 = scalar probe).
+        A mixed-state rank holds an ``(M, w, w)`` probe and gradient
+        and sweeps every mode through the FFT scratch, so the probe
+        and workspace terms scale by ``M``.
     """
 
     def __init__(
@@ -109,6 +116,7 @@ class MemoryModel:
         include_fixed: bool = True,
         needs_gradient_buffer: bool = True,
         precision: Union[str, PrecisionPolicy, None] = None,
+        probe_modes: int | None = None,
     ) -> None:
         self.spec = spec
         self.machine = machine
@@ -131,6 +139,9 @@ class MemoryModel:
             self.volume_itemsize = np.dtype(spec.volume_dtype).itemsize
         self.include_fixed = include_fixed
         self.needs_gradient_buffer = needs_gradient_buffer
+        self.probe_modes = 1 if probe_modes is None else int(probe_modes)
+        if self.probe_modes < 1:
+            raise ValueError("probe_modes must be positive")
 
     # ------------------------------------------------------------------
     def rank_breakdown(self, decomp: Decomposition, rank: int) -> MemoryBreakdown:
@@ -143,8 +154,9 @@ class MemoryModel:
             measurements=len(tile.all_probes) * det2 * self.meas_itemsize,
             volume=volume,
             gradient_buffer=volume if self.needs_gradient_buffer else 0.0,
-            probe=det2 * self.volume_itemsize,
-            workspace=self.machine.workspace_bytes(self.spec.detector_px),
+            probe=self.probe_modes * det2 * self.volume_itemsize,
+            workspace=self.probe_modes
+            * self.machine.workspace_bytes(self.spec.detector_px),
             fixed=self.machine.fixed_overhead_bytes if self.include_fixed else 0.0,
         )
 

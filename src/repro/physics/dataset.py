@@ -28,7 +28,7 @@ import numpy as np
 from repro.backend.base import ArrayBackend, PrecisionPolicy, resolve_precision
 from repro.physics.multislice import MultisliceModel
 from repro.physics.potential import SpecimenSpec, make_specimen
-from repro.physics.probe import Probe, ProbeSpec, make_probe
+from repro.physics.probe import Probe, ProbeSpec, make_mode_stack, make_probe
 from repro.physics.scan import RasterScan, ScanSpec
 
 __all__ = [
@@ -314,6 +314,7 @@ def simulate_dataset(
     spec: DatasetSpec,
     seed: int = 0,
     poisson_dose: Optional[float] = None,
+    probe_modes: Optional[int] = None,
 ) -> PtychoDataset:
     """Simulate a full acquisition for ``spec``.
 
@@ -329,6 +330,14 @@ def simulate_dataset(
         shot noise is applied to the diffraction *intensity* at that dose
         (the ML formulation's robustness to dose is one of its selling
         points over Fourier deconvolution, paper Sec. II-B).
+    probe_modes:
+        When > 1, illuminate with the deterministic mixed-state stack
+        :func:`repro.physics.probe.make_mode_stack` expands from the
+        coherent probe: recorded intensity is the *incoherent* sum over
+        modes (partial coherence).  ``None``/1 keeps the coherent
+        simulation bit-identical to the historical path.  The returned
+        dataset's ``probe`` is always the scalar base probe — the
+        acquisition does not hand the reconstruction the mode stack.
 
     Notes
     -----
@@ -366,6 +375,13 @@ def simulate_dataset(
         slice_thickness_pm=spec.slice_thickness_pm,
     )
 
+    n_modes = 1 if probe_modes is None else int(probe_modes)
+    if n_modes < 1:
+        raise ValueError("probe_modes must be positive")
+    mode_stack = (
+        make_mode_stack(probe.array, n_modes) if n_modes > 1 else None
+    )
+
     rng = np.random.default_rng(seed + 1)
     amplitudes = np.empty(
         (scan.n_positions, spec.detector_px, spec.detector_px),
@@ -374,8 +390,12 @@ def simulate_dataset(
     for i, window in enumerate(scan.windows):
         sl = window.global_slices()
         patch = specimen[:, sl[0], sl[1]]
-        far_field = model.forward(probe.array, patch)
-        intensity = np.abs(far_field) ** 2
+        if mode_stack is not None:
+            far_field = model.forward(mode_stack, patch)
+            intensity = np.sum(np.abs(far_field) ** 2, axis=0)
+        else:
+            far_field = model.forward(probe.array, patch)
+            intensity = np.abs(far_field) ** 2
         if poisson_dose is not None:
             total = float(intensity.sum())
             if total > 0:

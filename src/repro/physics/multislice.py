@@ -27,6 +27,19 @@ The *individual image gradient* ``df_i/dO`` is obtained by the adjoint
 Wirtinger-calculus convention: we return ``df/d(conj O)``, the direction of
 steepest *ascent*, so a descent step is ``O <- O - alpha * grad``.  All the
 gradients are verified against numerical finite differences in the tests.
+
+Mixed-state probes
+------------------
+Every entry point also accepts an ``(M, w, w)`` *mode stack* (see
+:mod:`repro.physics.probe`): the measured intensity is then the
+incoherent sum over modes, ``A = sqrt(sum_m |Psi_m|^2)``, the standard
+partially-coherent treatment.  The per-mode detector adjoint seed is
+``(A - y) * Psi_m / A`` (structurally the scalar formula at M=1), the
+object gradient sums the per-mode contributions, and probe gradients
+stay per-mode.  Dispatch is explicit: a 2-D probe — or a single-mode
+stack — runs the original scalar code verbatim, because
+``sqrt(|x|^2)`` is *not* bitwise ``np.abs(x)`` (hypot), and the
+``probe_modes=1`` path must stay bit-identical to the scalar one.
 """
 
 from __future__ import annotations
@@ -64,14 +77,18 @@ class GradientResult:
     ----------
     object_grad:
         ``(n_slices, window, window)`` complex array: the individual image
-        gradient ``df_i/d(conj O)`` restricted to the probe window.
+        gradient ``df_i/d(conj O)`` restricted to the probe window (for a
+        mode stack, summed over modes — the object is shared).
     cost:
         The scalar data-fit value ``f_i``.
     exit_amplitude:
-        ``|Psi|`` at the detector (useful for diagnostics / dose studies).
+        ``|Psi|`` at the detector (useful for diagnostics / dose studies);
+        the incoherent amplitude for a mode stack.
     probe_grad:
         ``df_i/d(conj p)`` — populated when probe refinement is requested
         (joint probe/object optimization, an extension beyond the paper).
+        Shape follows the probe: ``(window, window)`` for a scalar probe,
+        ``(M, window, window)`` for a mode stack.
     """
 
     object_grad: np.ndarray
@@ -99,8 +116,10 @@ class BatchGradientResult:
     costs:
         ``(B,)`` float64 data-fit values, one per probe location.
     probe_grads:
-        ``(B, window, window)`` per-location probe gradients, populated
-        when probe refinement is requested.
+        Per-location probe gradients, populated when probe refinement is
+        requested: ``(B, window, window)`` for a scalar probe,
+        ``(M, B, window, window)`` for a mode stack (item ``b`` is
+        ``probe_grads[:, b]``).
     """
 
     object_grads: np.ndarray
@@ -167,6 +186,39 @@ class MultisliceModel:
         return self._prop
 
     # ------------------------------------------------------------------
+    # Mixed-state dispatch
+    # ------------------------------------------------------------------
+    def _probe_modes(self, probe: np.ndarray) -> Optional[np.ndarray]:
+        """The ``(M, w, w)`` stack when ``probe`` is genuinely
+        mixed-state, ``None`` when the scalar path must run.
+
+        A 2-D probe and a single-mode ``(1, w, w)`` stack both dispatch
+        scalar (``None``): the M=1 arithmetic must be *bitwise* the
+        historical path, and the stacked formulation computes
+        ``sqrt(|x|^2)`` where the scalar one computes ``np.abs`` — same
+        value, different bits.
+        """
+        arr = np.asarray(probe)
+        if arr.ndim == 3 and arr.shape[0] > 1:
+            if arr.shape[1:] != (self.window, self.window):
+                raise ValueError(
+                    f"probe stack shape {arr.shape} != "
+                    f"(M, {self.window}, {self.window})"
+                )
+            return arr
+        if arr.ndim not in (2, 3):
+            raise ValueError(
+                f"probe must be (w, w) or (M, w, w), got shape {arr.shape}"
+            )
+        return None
+
+    @staticmethod
+    def _scalar_probe(probe: np.ndarray) -> np.ndarray:
+        """The 2-D probe of a scalar dispatch (unwraps a (1, w, w) stack)."""
+        arr = np.asarray(probe)
+        return arr[0] if arr.ndim == 3 else arr
+
+    # ------------------------------------------------------------------
     # Forward
     # ------------------------------------------------------------------
     def forward(
@@ -177,13 +229,18 @@ class MultisliceModel:
         Parameters
         ----------
         probe:
-            ``(window, window)`` complex probe.
+            ``(window, window)`` complex probe, or an ``(M, window,
+            window)`` mode stack — the far field is then per-mode,
+            ``(M, window, window)``.
         object_patch:
             ``(n_slices, window, window)`` complex transmission patch.
         """
         self._check_patch(object_patch)
         cdtype = self.precision.complex_dtype
-        psi = np.asarray(probe, dtype=cdtype)
+        modes = self._probe_modes(probe)
+        psi = np.asarray(
+            probe if modes is None else modes, dtype=cdtype
+        )
         object_patch = np.asarray(object_patch, dtype=cdtype)
         for s in range(self.n_slices):
             phi = psi * object_patch[s]
@@ -196,8 +253,23 @@ class MultisliceModel:
     def forward_amplitude(
         self, probe: np.ndarray, object_patch: np.ndarray
     ) -> np.ndarray:
-        """``|G(p, O[W])|`` — the quantity compared against ``|y_i|``."""
-        return np.abs(self.forward(probe, object_patch))
+        """``|G(p, O[W])|`` — the quantity compared against ``|y_i|``.
+
+        For a mode stack this is the incoherent detector amplitude
+        ``sqrt(sum_m |Psi_m|^2)`` (shape ``(window, window)``).
+        """
+        far_field = self.forward(probe, object_patch)
+        if far_field.ndim == 3:
+            if far_field.shape[0] == 1:
+                return np.abs(far_field[0])
+            return np.sqrt(
+                np.sum(
+                    far_field.real * far_field.real
+                    + far_field.imag * far_field.imag,
+                    axis=0,
+                )
+            )
+        return np.abs(far_field)
 
     # ------------------------------------------------------------------
     # Cost + gradient (adjoint)
@@ -215,6 +287,10 @@ class MultisliceModel:
 
         The incident waves ``psi_s`` are retained from the forward sweep
         (O(S) memory in patches), the standard checkpoint-free adjoint.
+
+        A mixed-state ``(M, window, window)`` probe runs the incoherent
+        formulation (per-mode ``probe_grad``); a single-mode stack
+        delegates to this scalar path bit-for-bit.
         """
         self._check_patch(object_patch)
         if measured_amplitude.shape != (self.window, self.window):
@@ -222,6 +298,29 @@ class MultisliceModel:
                 f"measurement shape {measured_amplitude.shape} != "
                 f"({self.window}, {self.window})"
             )
+        modes = self._probe_modes(probe)
+        if modes is not None:
+            return self._cost_and_gradient_modes(
+                modes,
+                object_patch,
+                measured_amplitude,
+                keep_exit_wave,
+                compute_probe_grad,
+            )
+        if np.asarray(probe).ndim == 3:
+            # Single-mode stack: scalar arithmetic, stack-shaped output.
+            result = self.cost_and_gradient(
+                self._scalar_probe(probe),
+                object_patch,
+                measured_amplitude,
+                keep_exit_wave,
+                compute_probe_grad,
+            )
+            if result.probe_grad is not None:
+                result.probe_grad = result.probe_grad.reshape(
+                    (1,) + result.probe_grad.shape
+                )
+            return result
 
         cdtype = self.precision.complex_dtype
         measured = np.asarray(
@@ -265,6 +364,70 @@ class MultisliceModel:
             result.probe_grad = np.conj(object_patch[0]) * chi
         return result
 
+    def _cost_and_gradient_modes(
+        self,
+        modes: np.ndarray,
+        object_patch: np.ndarray,
+        measured_amplitude: np.ndarray,
+        keep_exit_wave: bool,
+        compute_probe_grad: bool,
+    ) -> GradientResult:
+        """The incoherent (mixed-state) cost+gradient for an ``(M, w, w)``
+        stack, M > 1.
+
+        ``A = sqrt(sum_m |Psi_m|^2)``; the per-mode detector seed
+        ``(A - y) * Psi_m / (A + eps)`` reduces structurally to the
+        scalar formula at one mode.  The object gradient sums mode
+        contributions (the object is shared); the probe gradient stays
+        per-mode.
+        """
+        cdtype = self.precision.complex_dtype
+        measured = np.asarray(
+            measured_amplitude, dtype=self.precision.real_dtype
+        )
+        object_patch = np.asarray(object_patch, dtype=cdtype)
+        n_modes = modes.shape[0]
+
+        incident = np.empty(
+            (self.n_slices, n_modes, self.window, self.window), dtype=cdtype
+        )
+        psi = np.asarray(modes, dtype=cdtype)
+        for s in range(self.n_slices):
+            incident[s] = psi
+            phi = psi * object_patch[s]
+            psi = self._prop.forward(phi) if s < self.n_slices - 1 else phi
+        far_field = fft2c(psi, self.backend)
+        amplitude = np.sqrt(
+            np.sum(
+                far_field.real * far_field.real
+                + far_field.imag * far_field.imag,
+                axis=0,
+            )
+        )
+
+        residual = amplitude - measured
+        cost = float(np.sum(residual * residual, dtype=np.float64))
+
+        # Per-mode adjoint seed: d f / d conj(Psi_m) broadcast over M.
+        phase = far_field / (amplitude + _AMPLITUDE_EPS)
+        chi = ifft2c(residual * phase, self.backend)
+
+        grad = np.empty(
+            (self.n_slices, self.window, self.window), dtype=cdtype
+        )
+        for s in range(self.n_slices - 1, -1, -1):
+            grad[s] = np.sum(np.conj(incident[s]) * chi, axis=0)
+            if s > 0:
+                chi = self._prop.adjoint(np.conj(object_patch[s]) * chi)
+        result = GradientResult(
+            object_grad=grad,
+            cost=cost,
+            exit_amplitude=amplitude if keep_exit_wave else None,
+        )
+        if compute_probe_grad:
+            result.probe_grad = np.conj(object_patch[0]) * chi
+        return result
+
     def cost_and_gradient_batch(
         self,
         probe: np.ndarray,
@@ -280,7 +443,29 @@ class MultisliceModel:
         hot path the data pipeline exists to exploit.  Accepts
         non-contiguous inputs (gathered patch stacks, strided store
         reads) without further copies beyond the dtype conversion.
+
+        A mixed-state ``(M, w, w)`` probe batches over ``(M, B, w, w)``
+        stacks (per-mode ``probe_grads``); a single-mode stack delegates
+        to this scalar path bit-for-bit.
         """
+        modes = self._probe_modes(probe)
+        if modes is not None:
+            return self._cost_and_gradient_batch_modes(
+                modes, object_patches, measured_amplitudes,
+                compute_probe_grad,
+            )
+        if np.asarray(probe).ndim == 3:
+            result = self.cost_and_gradient_batch(
+                self._scalar_probe(probe),
+                object_patches,
+                measured_amplitudes,
+                compute_probe_grad,
+            )
+            if result.probe_grads is not None:
+                result.probe_grads = result.probe_grads.reshape(
+                    (1,) + result.probe_grads.shape
+                )
+            return result
         object_patches = np.asarray(
             object_patches, dtype=self.precision.complex_dtype
         )
@@ -331,6 +516,80 @@ class MultisliceModel:
         )
         for s in range(self.n_slices - 1, -1, -1):
             grads[:, s] = np.conj(incident[s]) * chi
+            if s > 0:
+                chi = self._prop.adjoint(
+                    np.conj(object_patches[:, s]) * chi
+                )
+        result = BatchGradientResult(object_grads=grads, costs=costs)
+        if compute_probe_grad:
+            result.probe_grads = np.conj(object_patches[:, 0]) * chi
+        return result
+
+    def _cost_and_gradient_batch_modes(
+        self,
+        modes: np.ndarray,
+        object_patches: np.ndarray,
+        measured_amplitudes: np.ndarray,
+        compute_probe_grad: bool,
+    ) -> BatchGradientResult:
+        """Batched mixed-state sweep: ``M`` modes x ``B`` locations as
+        one ``(M, B, w, w)`` stack through every FFT."""
+        cdtype = self.precision.complex_dtype
+        object_patches = np.asarray(object_patches, dtype=cdtype)
+        if (
+            object_patches.ndim != 4
+            or object_patches.shape[1:]
+            != (self.n_slices, self.window, self.window)
+        ):
+            raise ValueError(
+                f"object patches shape {object_patches.shape} != "
+                f"(B, {self.n_slices}, {self.window}, {self.window})"
+            )
+        batch = object_patches.shape[0]
+        measured = np.asarray(
+            measured_amplitudes, dtype=self.precision.real_dtype
+        )
+        if measured.shape != (batch, self.window, self.window):
+            raise ValueError(
+                f"measurement shape {measured.shape} != "
+                f"({batch}, {self.window}, {self.window})"
+            )
+        n_modes = modes.shape[0]
+
+        incident = np.empty(
+            (self.n_slices, n_modes, batch, self.window, self.window),
+            dtype=cdtype,
+        )
+        psi = np.broadcast_to(
+            np.asarray(modes, dtype=cdtype)[:, None],
+            (n_modes, batch, self.window, self.window),
+        )
+        for s in range(self.n_slices):
+            incident[s] = psi
+            phi = psi * object_patches[:, s]
+            psi = self._prop.forward(phi) if s < self.n_slices - 1 else phi
+        far_field = fft2c(psi, self.backend)
+        amplitude = np.sqrt(
+            np.sum(
+                far_field.real * far_field.real
+                + far_field.imag * far_field.imag,
+                axis=0,
+            )
+        )
+
+        residual = amplitude - measured
+        costs = np.sum(
+            residual * residual, axis=(-2, -1), dtype=np.float64
+        )
+
+        phase = far_field / (amplitude + _AMPLITUDE_EPS)
+        chi = ifft2c(residual * phase, self.backend)
+
+        grads = np.empty(
+            (batch, self.n_slices, self.window, self.window), dtype=cdtype
+        )
+        for s in range(self.n_slices - 1, -1, -1):
+            grads[:, s] = np.sum(np.conj(incident[s]) * chi, axis=0)
             if s > 0:
                 chi = self._prop.adjoint(
                     np.conj(object_patches[:, s]) * chi

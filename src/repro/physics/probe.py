@@ -23,7 +23,15 @@ import numpy as np
 from repro.physics.constants import electron_wavelength_pm
 from repro.utils.fftutils import fftfreq_grid, ifft2c
 
-__all__ = ["ProbeSpec", "Probe", "make_probe"]
+__all__ = [
+    "ProbeSpec",
+    "Probe",
+    "make_probe",
+    "as_mode_stack",
+    "make_mode_stack",
+    "mode_powers",
+    "orthogonalize_modes",
+]
 
 
 @dataclass(frozen=True)
@@ -116,6 +124,124 @@ class Probe:
         idx = int(np.searchsorted(cumulative, fraction * total))
         idx = min(idx, len(order) - 1)
         return float(r[order][idx])
+
+
+def as_mode_stack(probe: np.ndarray) -> np.ndarray:
+    """View ``probe`` as an ``(M, w, w)`` mode stack.
+
+    A 2-D scalar probe becomes the single-mode stack ``(1, w, w)``
+    (a reshape — no copy, no value change); a 3-D stack passes through.
+    This is the shape contract every mixed-state consumer normalizes
+    against: *legacy 2-D probes mean M=1*.
+    """
+    arr = np.asarray(probe)
+    if arr.ndim == 2:
+        return arr.reshape((1,) + arr.shape)
+    if arr.ndim == 3:
+        return arr
+    raise ValueError(
+        f"probe must be (w, w) or (M, w, w), got shape {arr.shape}"
+    )
+
+
+def mode_powers(modes: np.ndarray) -> np.ndarray:
+    """Per-mode intensity ``sum |psi_m|^2`` of a stack (2-D accepted)."""
+    stack = as_mode_stack(modes)
+    return np.sum(
+        stack.real * stack.real + stack.imag * stack.imag, axis=(-2, -1)
+    )
+
+
+def orthogonalize_modes(modes: np.ndarray) -> np.ndarray:
+    """Project a mode stack onto its nearest orthogonal, energy-ordered
+    relaxation (the standard mixed-state cleanup pass).
+
+    The stack is flattened to an ``(M, w*w)`` matrix and SVD-factored;
+    the returned modes are ``diag(S) @ Vh`` reshaped back — the same
+    span and the same total intensity (``sum_m |psi_m|^2`` summed over
+    pixels is the squared Frobenius norm, invariant under the unitary
+    ``U`` that is dropped), but with pairwise-orthogonal modes sorted by
+    descending energy.
+
+    ``M=1`` is an explicit identity (returned unchanged, same object):
+    a single mode is trivially orthogonal, and the SVD would introduce
+    an arbitrary global phase — violating the load-bearing invariant
+    that single-mode runs stay bit-identical to the scalar path.
+    """
+    stack = as_mode_stack(modes)
+    if stack.shape[0] == 1:
+        return modes
+    m = stack.shape[0]
+    flat = stack.reshape(m, -1)
+    _, s, vh = np.linalg.svd(flat, full_matrices=False)
+    return (s[:, None] * vh).reshape(stack.shape)
+
+
+def make_mode_stack(
+    base: np.ndarray, n_modes: int, power_ratio: float = 0.25
+) -> np.ndarray:
+    """Deterministically expand a scalar probe into an ``(M, w, w)``
+    incoherent mode stack.
+
+    Mode 0 is the base probe; higher modes are the base modulated by
+    centered coordinate polynomials (Hermite-Gauss-like: ``y``, ``x``,
+    ``y*x``, ``y^2``, ...), Gram-Schmidt-orthogonalized against all
+    earlier modes.  Mode powers decay geometrically (``power_ratio``
+    per mode) and are normalized so the stack's *total* intensity
+    equals the base probe's — a unit-intensity base yields a
+    unit-intensity mixed state, keeping step-size heuristics valid.
+
+    No randomness anywhere: the same base and ``M`` always produce the
+    same stack, which is what makes mixed-state reconstructions (and
+    their cancel→resume legs) deterministic end to end.
+    """
+    if n_modes <= 0:
+        raise ValueError("n_modes must be positive")
+    if not (0.0 < power_ratio < 1.0):
+        raise ValueError("power_ratio must be in (0, 1)")
+    arr = np.asarray(base)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(
+            f"base probe must be square 2-D, got shape {arr.shape}"
+        )
+    if n_modes == 1:
+        return arr.reshape((1,) + arr.shape).copy()
+    n = arr.shape[0]
+    # Centered, window-normalized coordinates for the modulations.
+    yy, xx = np.mgrid[0:n, 0:n]
+    y = (yy - (n - 1) / 2.0) / n
+    x = (xx - (n - 1) / 2.0) / n
+    # Polynomial degrees in (y, x), low order first: enough distinct
+    # modulations for any reasonable M without repetition.
+    degrees = sorted(
+        ((dy + dx, dy, dx) for dy in range(8) for dx in range(8)),
+        key=lambda t: (t[0], t[1]),
+    )[1 : n_modes]
+    modes = np.empty((n_modes, n, n), dtype=np.complex128)
+    modes[0] = arr
+    base_power = float(np.sum(np.abs(arr) ** 2))
+    if base_power == 0.0:
+        raise ValueError("base probe has zero intensity")
+    for k, (_, dy, dx) in enumerate(degrees, start=1):
+        candidate = arr * (y**dy) * (x**dx)
+        # Gram-Schmidt against every earlier mode.
+        for j in range(k):
+            prev = modes[j]
+            denom = np.vdot(prev, prev)
+            candidate = candidate - (np.vdot(prev, candidate) / denom) * prev
+        norm = np.sqrt(np.sum(np.abs(candidate) ** 2))
+        if norm == 0.0:  # pragma: no cover - degenerate base
+            raise ValueError(
+                f"mode {k} modulation vanished; base probe too degenerate "
+                f"for {n_modes} modes"
+            )
+        modes[k] = candidate / norm
+    # Geometric power ladder, renormalized to the base's total power.
+    weights = power_ratio ** np.arange(n_modes, dtype=np.float64)
+    weights *= base_power / weights.sum()
+    modes[0] = arr / np.sqrt(base_power)
+    modes *= np.sqrt(weights)[:, None, None]
+    return modes
 
 
 def make_probe(spec: ProbeSpec) -> Probe:

@@ -111,6 +111,11 @@ class EnginePlan:
     data_source: Optional[object] = None
     batch_size: Optional[int] = None
     prefetch: bool = False
+    #: Incoherent probe modes (mixed-state reconstruction).  ``None``/1
+    #: keeps the scalar probe path bit-identical to the historical
+    #: behaviour; ``M > 1`` makes every engine carry an ``(M, w, w)``
+    #: mode stack.  Plain int/None so it pickles.
+    probe_modes: Optional[int] = None
     #: Record per-rank telemetry in worker processes and ship it back
     #: with each step report (set by the reconstructor from the active
     #: recorder; see :mod:`repro.obs`).  Plain bool so it pickles.
@@ -244,6 +249,7 @@ class SerialExecutor(Executor):
             data_source=plan.data_source,
             batch_size=plan.batch_size,
             prefetch=plan.prefetch,
+            probe_modes=plan.probe_modes,
         )
         return _SerialSession(engine, plan.schedule)
 

@@ -204,6 +204,7 @@ def _worker_main(
             data_source=data_source,
             batch_size=plan.batch_size,
             prefetch=plan.prefetch,
+            probe_modes=plan.probe_modes,
         )
         results.put(("ready", worker_index, None))
 

@@ -33,6 +33,7 @@ __all__ = [
     "Barrier",
     "ProbeSync",
     "ApplyProbeUpdate",
+    "OrthogonalizeProbe",
     "Schedule",
 ]
 
@@ -194,6 +195,26 @@ class ApplyProbeUpdate(Op):
 
     rank: int
     lr: float
+
+    def ranks(self) -> Tuple[int, ...]:
+        return (self.rank,)
+
+
+@dataclass
+class OrthogonalizeProbe(Op):
+    """Rank re-orthogonalizes its probe *mode stack* (mixed-state runs).
+
+    Scheduled once per sweep after :class:`ApplyProbeUpdate` when the
+    probe has more than one incoherent mode: the gradient step degrades
+    pairwise orthogonality, and the SVD relaxation restores it (energy-
+    ordered, span-preserving — see
+    :func:`repro.physics.probe.orthogonalize_modes`).  Rank-local and
+    deterministic: every rank holds the identical synchronized probe, so
+    per-rank execution needs no communication.  Never scheduled for
+    single-mode runs (the M=1 path must stay bit-identical to the
+    scalar one)."""
+
+    rank: int
 
     def ranks(self) -> Tuple[int, ...]:
         return (self.rank,)

@@ -33,8 +33,12 @@ _BackendSpec = Union[str, ArrayBackend, None]
 
 def _count_fft(tel, kind: str, backend_name: str, shape, dt: float) -> None:
     """Accumulate one transform into the active recorder: total count
-    and seconds, the per-backend split, and a batch-shape histogram."""
-    batch = shape[0] if len(shape) > 2 else 1
+    and seconds, the per-backend split, and a batch-shape histogram.
+    All leading axes count as batch (a mixed-state ``(M, B, w, w)``
+    sweep is ``M*B`` planes per call)."""
+    batch = 1
+    for n in shape[:-2]:
+        batch *= int(n)
     tel.add(
         {
             "fft.calls": 1,

@@ -94,6 +94,51 @@ class TestRoundTrip:
             ReconstructionConfig.from_dict({"solver_params": {}})
 
 
+class TestProbeModes:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="probe_modes"):
+            ReconstructionConfig("gd", probe_modes=0)
+        with pytest.raises(ValueError, match="probe_modes"):
+            ReconstructionConfig("gd", probe_modes=-2)
+        with pytest.raises((TypeError, ValueError), match="probe_modes"):
+            ReconstructionConfig("gd", probe_modes=True)
+
+    def test_round_trips(self):
+        cfg = ReconstructionConfig("gd", {"lr": 0.5}, probe_modes=3)
+        assert cfg.to_dict()["probe_modes"] == 3
+        assert ReconstructionConfig.from_dict(cfg.to_dict()) == cfg
+        assert ReconstructionConfig.from_json(cfg.to_json()) == cfg
+
+    def test_with_probe_derives(self):
+        base = ReconstructionConfig("gd", {"lr": 0.5})
+        mixed = base.with_probe(probe_modes=2)
+        assert mixed.probe_modes == 2
+        assert base.probe_modes is None  # original untouched
+        # None keeps the current value, like every other with_* helper;
+        # probe_modes=1 is the explicit way back to the scalar path.
+        assert mixed.with_probe().probe_modes == 2
+        assert mixed.with_probe(probe_modes=1).probe_modes == 1
+
+    def test_scalar_fingerprint_is_unchanged(self):
+        # probe_modes=None and =1 both mean "the historical scalar
+        # path" and must keep the pre-mixed-state fingerprint bytes:
+        # every archived scalar run stays replay-identifiable.
+        base = ReconstructionConfig("gd", {"lr": 0.5})
+        explicit = base.with_probe(probe_modes=1)
+        assert base.fingerprint() == explicit.fingerprint()
+
+    def test_mixed_state_fingerprint_differs(self):
+        base = ReconstructionConfig("gd", {"lr": 0.5})
+        assert (
+            base.with_probe(probe_modes=2).fingerprint()
+            != base.fingerprint()
+        )
+        assert (
+            base.with_probe(probe_modes=2).fingerprint()
+            != base.with_probe(probe_modes=3).fingerprint()
+        )
+
+
 class TestDerivation:
     def test_with_solver_params_merges(self):
         cfg = ReconstructionConfig("gd", solver_params={"lr": 0.5, "n_ranks": 4})

@@ -89,6 +89,42 @@ class TestMemoryModelPrecision:
             )
 
 
+class TestMemoryModelProbeModes:
+    """Mixed-state runs hold an ``(M, w, w)`` probe and sweep every mode
+    through the FFT scratch — only those two terms scale with ``M``."""
+
+    @pytest.fixture()
+    def decomp(self, tiny_dataset):
+        return decompose_gradient(
+            tiny_dataset.scan, tiny_dataset.object_shape, n_ranks=4
+        )
+
+    def test_probe_and_workspace_scale_by_modes(self, tiny_dataset, decomp):
+        scalar = MemoryModel(tiny_dataset.spec)
+        mixed = MemoryModel(tiny_dataset.spec, probe_modes=3)
+        b1 = scalar.rank_breakdown(decomp, 0)
+        b3 = mixed.rank_breakdown(decomp, 0)
+        assert b3.probe == 3 * b1.probe
+        assert b3.workspace == 3 * b1.workspace
+        # Nothing else moves with the mode count.
+        assert b3.volume == b1.volume
+        assert b3.gradient_buffer == b1.gradient_buffer
+        assert b3.measurements == b1.measurements
+        assert b3.fixed == b1.fixed
+
+    def test_none_and_one_are_the_scalar_model(self, tiny_dataset, decomp):
+        default = MemoryModel(tiny_dataset.spec)
+        explicit = MemoryModel(tiny_dataset.spec, probe_modes=1)
+        assert (
+            default.rank_breakdown(decomp, 0)
+            == explicit.rank_breakdown(decomp, 0)
+        )
+
+    def test_nonpositive_modes_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError, match="probe_modes"):
+            MemoryModel(tiny_dataset.spec, probe_modes=0)
+
+
 class TestTrackerTyped:
     def test_allocate_typed_bytes_per_element(self):
         tracker = MemoryTracker(1)
@@ -112,12 +148,16 @@ class TestEngineCrossValidation:
     engine *measures* — at both precisions (the seed test only covered
     complex128)."""
 
+    @pytest.mark.parametrize("probe_modes", [None, 2])
     @pytest.mark.parametrize("dtype", ["complex128", "complex64"])
-    def test_volume_bytes_match(self, tiny_dataset, dtype):
+    def test_volume_bytes_match(self, tiny_dataset, dtype, probe_modes):
         decomp = decompose_gradient(
             tiny_dataset.scan, tiny_dataset.object_shape, n_ranks=4
         )
-        engine = NumericEngine(tiny_dataset, decomp, lr=0.1, dtype=dtype)
+        engine = NumericEngine(
+            tiny_dataset, decomp, lr=0.1, dtype=dtype,
+            probe_modes=probe_modes,
+        )
         model = MemoryModel(
             tiny_dataset.spec,
             precision=dtype,
@@ -125,6 +165,7 @@ class TestEngineCrossValidation:
                 tiny_dataset.spec.measurement_dtype
             ).itemsize,
             include_fixed=False,
+            probe_modes=probe_modes,
         )
         for rank in range(decomp.n_ranks):
             measured = engine.memory.breakdown(rank)
@@ -132,3 +173,4 @@ class TestEngineCrossValidation:
             assert measured["volume"] == analytic.volume
             assert measured["accbuf"] == analytic.gradient_buffer
             assert measured["measurements"] == analytic.measurements
+            assert measured["probe"] == analytic.probe

@@ -106,6 +106,15 @@ def golden_configs() -> Dict[str, ReconstructionConfig]:
             batch_size=1,
             **_PINNED,
         ),
+        "gd_mixed_state": ReconstructionConfig(
+            "gd",
+            {"n_ranks": 4, "iterations": ITERATIONS, "lr": LR,
+             "mode": "synchronous", "refine_probe": True},
+            executor="serial",
+            batch_size=1,
+            probe_modes=2,
+            **_PINNED,
+        ),
     }
 
 

@@ -91,6 +91,58 @@ class TestResultRoundtrip:
         )
 
 
+class TestProbeShapeDiscrimination:
+    """Mixed-state archives: shape is the scalar-vs-stack discriminator
+    (legacy 2-D probes mean M=1; ``(M, w, w)`` stacks round-trip as
+    stacks) — the contract ``as_mode_stack`` normalizes against."""
+
+    def test_scalar_probe_stays_2d(self, tiny_dataset, tiny_lr, tmp_path):
+        result = GradientDecompositionReconstructor(
+            n_ranks=2, iterations=1, lr=tiny_lr, refine_probe=True
+        ).reconstruct(tiny_dataset)
+        loaded = load_result(save_result(tmp_path / "scal.npz", result))
+        w = tiny_dataset.probe.window
+        assert loaded.probe.shape == (w, w)
+        from repro.physics.probe import as_mode_stack
+
+        assert as_mode_stack(loaded.probe).shape == (1, w, w)
+
+    def test_mode_stack_round_trips_3d(
+        self, tiny_dataset, tiny_lr, tmp_path
+    ):
+        result = GradientDecompositionReconstructor(
+            n_ranks=2, iterations=1, lr=tiny_lr,
+            refine_probe=True, probe_modes=2,
+        ).reconstruct(tiny_dataset)
+        w = tiny_dataset.probe.window
+        assert result.probe.shape == (2, w, w)
+        loaded = load_result(save_result(tmp_path / "stk.npz", result))
+        assert loaded.probe.shape == (2, w, w)
+        np.testing.assert_array_equal(loaded.probe, result.probe)
+
+    def test_mixed_state_restart_through_disk(
+        self, tiny_dataset, tiny_lr, tmp_path
+    ):
+        kw = dict(n_ranks=2, lr=tiny_lr, mode="synchronous",
+                  refine_probe=True, probe_modes=2)
+        straight = GradientDecompositionReconstructor(
+            iterations=4, **kw
+        ).reconstruct(tiny_dataset)
+        half = GradientDecompositionReconstructor(
+            iterations=2, **kw
+        ).reconstruct(tiny_dataset)
+        loaded = load_result(save_result(tmp_path / "half2.npz", half))
+        resumed = GradientDecompositionReconstructor(
+            iterations=2, **kw
+        ).reconstruct(
+            tiny_dataset,
+            initial_probe=loaded.probe,
+            initial_volume=loaded.volume,
+        )
+        np.testing.assert_array_equal(resumed.volume, straight.volume)
+        np.testing.assert_array_equal(resumed.probe, straight.probe)
+
+
 class TestValidation:
     def test_kind_mismatch_rejected(self, tiny_dataset, tiny_lr, tmp_path):
         ds_path = save_dataset(tmp_path / "ds.npz", tiny_dataset)

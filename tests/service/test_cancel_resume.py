@@ -65,6 +65,20 @@ class TestBitExactResume:
         assert result_fingerprint(handle.result()) == \
             result_fingerprint(direct)
 
+    def test_gd_mixed_state(self, tiny_dataset, tiny_lr, service_factory):
+        # The checkpoint archive carries the full (M, w, w) mode stack,
+        # so a cancelled mixed-state job resumes bit for bit — the mode
+        # axis survives the service round trip.
+        config = gd_config(
+            tiny_lr, iterations=8, refine_probe=True
+        ).with_probe(probe_modes=2)
+        service = service_factory(workers=1)
+        handle = submit_cancel_resume(service, tiny_dataset, config, 4)
+        direct = reconstruct(tiny_dataset, config)
+        assert result_fingerprint(handle.result()) == \
+            result_fingerprint(direct)
+        assert handle.result().probe.shape[0] == 2
+
     def test_traffic_counters_are_additive(
         self, tiny_dataset, tiny_lr, service_factory
     ):
